@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper (see
+DESIGN.md §3 and EXPERIMENTS.md).  The traces are the synthetic S/C/A suite of
+:mod:`repro.traces.datasets`; their size can be scaled with the
+``REPRO_TRACE_SCALE`` environment variable (default 1.0).  Traces are generated
+once per session and shared across benchmark modules.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+from repro.traces.datasets import TRACE_NAMES, get_trace  # noqa: E402
+
+
+def pytest_report_header(config):
+    scale = os.environ.get("REPRO_TRACE_SCALE", "1.0")
+    return f"repro benchmark traces: {', '.join(TRACE_NAMES)} (REPRO_TRACE_SCALE={scale})"
+
+
+@pytest.fixture(scope="session", params=TRACE_NAMES)
+def trace(request):
+    """One benchmark trace per parametrised run (S1..A2)."""
+    return get_trace(request.param)
+
+
+@pytest.fixture(scope="session")
+def all_traces():
+    return {name: get_trace(name) for name in TRACE_NAMES}

@@ -1,0 +1,78 @@
+"""Figure 10 — RAM while merging a remote editing trace.
+
+For every algorithm and trace we record (via tracemalloc) the peak memory
+allocated while merging and the memory still retained afterwards (the steady
+state).  The paper's claims reproduced here:
+
+* Eg-walker and OT retain only the document text once the merge completes —
+  one to two orders of magnitude less than any CRDT (claim C5);
+* Eg-walker's peak (while the merge is running) is in the same ballpark as the
+  reference CRDT's steady state.
+
+The benchmark time measured here includes the tracemalloc overhead, so it is
+not comparable with Figure 8's numbers; the memory readings are attached as
+``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.adapters import (
+    AutomergeLikeAdapter,
+    EgWalkerAdapter,
+    OTAdapter,
+    RefCRDTAdapter,
+    YjsLikeAdapter,
+)
+from repro.bench.memory import measure_memory
+
+ADAPTERS = {
+    "eg-walker": EgWalkerAdapter,
+    "ot": OTAdapter,
+    "ref-crdt": RefCRDTAdapter,
+    "automerge-like": AutomergeLikeAdapter,
+    "yjs-like": YjsLikeAdapter,
+}
+
+
+@pytest.mark.parametrize("algorithm", list(ADAPTERS))
+def test_memory_while_merging(benchmark, trace, algorithm):
+    adapter = ADAPTERS[algorithm]()
+    benchmark.group = f"fig10-memory-{trace.name}"
+
+    def run():
+        return measure_memory(lambda: adapter.merge(trace))
+
+    outcome, measurement = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["trace"] = trace.name
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["peak_kib"] = round(measurement.peak_bytes / 1024, 1)
+    benchmark.extra_info["steady_kib"] = round(measurement.retained_bytes / 1024, 1)
+    benchmark.extra_info["text_kib"] = round(len(outcome.text.encode()) / 1024, 1)
+
+    assert measurement.peak_bytes >= measurement.retained_bytes
+    if algorithm in ("eg-walker", "ot"):
+        # Steady state is essentially just the text (plus small constants).
+        assert measurement.retained_bytes < 40 * len(outcome.text.encode()) + 200_000
+    else:
+        # CRDTs keep per-character metadata alive.
+        assert measurement.retained_bytes > len(outcome.text.encode())
+
+
+def test_steady_state_ratio_egwalker_vs_ref_crdt(benchmark, all_traces):
+    """Claim C5: Eg-walker's steady state is far below the reference CRDT's."""
+
+    def run():
+        ratios = {}
+        for name, trace in all_traces.items():
+            _, eg = measure_memory(lambda: EgWalkerAdapter().merge(trace))
+            _, crdt = measure_memory(lambda: RefCRDTAdapter().merge(trace))
+            ratios[name] = crdt.retained_bytes / max(1, eg.retained_bytes)
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["crdt_over_egwalker_steady_ratio"] = {
+        name: round(value, 1) for name, value in ratios.items()
+    }
+    assert all(value > 2 for value in ratios.values())

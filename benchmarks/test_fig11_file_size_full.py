@@ -1,0 +1,44 @@
+"""Figure 11 — file size when the full editing history is retained.
+
+Compares the Eg-walker columnar event-graph encoding (§3.8), with and without
+a cached copy of the final document, against the Automerge-like full-history
+format.  The lightly shaded lower bound in the paper's chart — the
+concatenated length of all inserted text — is reported alongside.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.adapters import AutomergeLikeAdapter, EgWalkerAdapter
+
+VARIANTS = ["egwalker", "egwalker+cached-doc", "automerge-like"]
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_full_history_file_size(benchmark, trace, variant):
+    benchmark.group = f"fig11-filesize-{trace.name}"
+    inserted_text_bytes = sum(
+        len(e.op.content.encode()) for e in trace.graph.events() if e.op.is_insert
+    )
+
+    if variant == "automerge-like":
+        adapter = AutomergeLikeAdapter()
+        outcome = adapter.merge(trace)
+        encode = lambda: adapter.save(trace, outcome)  # noqa: E731
+    else:
+        adapter = EgWalkerAdapter(cache_final_doc=(variant == "egwalker+cached-doc"))
+        outcome = adapter.merge(trace)
+        encode = lambda: adapter.save(trace, outcome)  # noqa: E731
+
+    data = benchmark.pedantic(encode, rounds=1, iterations=1)
+    benchmark.extra_info["trace"] = trace.name
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["file_bytes"] = len(data)
+    benchmark.extra_info["inserted_text_bytes"] = inserted_text_bytes
+
+    # The inserted text is a lower bound on any full-history format.
+    assert len(data) > inserted_text_bytes
+    if variant.startswith("egwalker"):
+        # The event-graph encoding keeps the overhead over raw text modest.
+        assert len(data) < inserted_text_bytes * 4 + 10_000

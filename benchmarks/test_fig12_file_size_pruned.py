@@ -1,0 +1,38 @@
+"""Figure 12 — file size when deleted text content is omitted (as Yjs does).
+
+Compares the pruned Eg-walker event-graph encoding (structure kept, deleted
+characters' content dropped) against the Yjs-like item format, with the final
+document size as the lower bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.adapters import EgWalkerAdapter, YjsLikeAdapter
+
+VARIANTS = ["egwalker-pruned", "yjs-like"]
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_pruned_file_size(benchmark, trace, variant):
+    benchmark.group = f"fig12-filesize-{trace.name}"
+    final_doc_bytes = len(trace.final_text.encode())
+
+    if variant == "yjs-like":
+        adapter = YjsLikeAdapter()
+        outcome = adapter.merge(trace)
+        encode = lambda: adapter.save(trace, outcome)  # noqa: E731
+    else:
+        adapter = EgWalkerAdapter()
+        outcome = adapter.merge(trace)
+        encode = lambda: adapter.save_pruned(trace, outcome)  # noqa: E731
+
+    data = benchmark.pedantic(encode, rounds=1, iterations=1)
+    benchmark.extra_info["trace"] = trace.name
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["file_bytes"] = len(data)
+    benchmark.extra_info["final_doc_bytes"] = final_doc_bytes
+
+    # The final document text is (approximately) a lower bound for both formats.
+    assert len(data) > final_doc_bytes * 0.5

@@ -1,0 +1,49 @@
+"""Figure 8 (merge series) — CPU time to merge a remote editing trace.
+
+For every trace and every algorithm, measure the time to integrate the entire
+editing history — as received from a remote replica — into an empty local
+document.  The paper's headline results reproduced here:
+
+* on sequential traces (S1–S3) Eg-walker and OT are fast and the CRDTs pay a
+  constant per-character overhead;
+* on the asynchronous traces (A1–A2) OT blows up quadratically while Eg-walker
+  stays close to the reference CRDT;
+* Eg-walker is never far behind the best algorithm on any trace (claim C1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.adapters import (
+    AutomergeLikeAdapter,
+    EgWalkerAdapter,
+    OTAdapter,
+    RefCRDTAdapter,
+    YjsLikeAdapter,
+)
+
+ADAPTERS = {
+    "eg-walker": EgWalkerAdapter,
+    "ot": OTAdapter,
+    "ref-crdt": RefCRDTAdapter,
+    "automerge-like": AutomergeLikeAdapter,
+    "yjs-like": YjsLikeAdapter,
+}
+
+
+@pytest.mark.parametrize("algorithm", list(ADAPTERS))
+def test_merge_remote_trace(benchmark, trace, algorithm):
+    adapter = ADAPTERS[algorithm]()
+    benchmark.group = f"fig8-merge-{trace.name}"
+    outcome = benchmark.pedantic(adapter.merge, args=(trace,), rounds=1, iterations=1)
+    benchmark.extra_info["trace"] = trace.name
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["events"] = len(trace.graph)
+    benchmark.extra_info["final_chars"] = len(outcome.text)
+    # Every algorithm must produce the same merged document as Eg-walker
+    # produces (OT may reorder concurrent runs, so compare lengths there).
+    if algorithm == "ot":
+        assert len(outcome.text) == len(trace.final_text)
+    else:
+        assert outcome.text == trace.final_text

@@ -1,0 +1,56 @@
+"""Eg-walker core: event graphs, the replay walker, and the document API."""
+
+from .causal_graph import CausalGraph, DiffResult
+from .critical_versions import (
+    critical_cut_positions,
+    is_critical_version,
+    latest_critical_cut_before,
+)
+from .document import Document
+from .event_graph import Event, EventGraph, ROOT_VERSION, Version
+from .ids import EventId, Operation, OpKind, delete_op, insert_op
+from .internal_state import InternalState
+from .oplog import OpLog, RemoteEvent
+from .order_statistic_tree import TreeSequence
+from .records import CrdtRecord, PlaceholderPiece
+from .sequence import ListSequence
+from .topo_sort import (
+    is_topological_order,
+    sort_branch_aware,
+    sort_interleaved,
+    sort_local_order,
+)
+from .walker import EgWalker, ReplayResult, TransformedOp, WalkerStats
+
+__all__ = [
+    "CausalGraph",
+    "CrdtRecord",
+    "DiffResult",
+    "Document",
+    "EgWalker",
+    "Event",
+    "EventGraph",
+    "EventId",
+    "InternalState",
+    "ListSequence",
+    "Operation",
+    "OpKind",
+    "OpLog",
+    "PlaceholderPiece",
+    "RemoteEvent",
+    "ReplayResult",
+    "ROOT_VERSION",
+    "TransformedOp",
+    "TreeSequence",
+    "Version",
+    "WalkerStats",
+    "critical_cut_positions",
+    "delete_op",
+    "insert_op",
+    "is_critical_version",
+    "is_topological_order",
+    "latest_critical_cut_before",
+    "sort_branch_aware",
+    "sort_interleaved",
+    "sort_local_order",
+]

@@ -1,0 +1,254 @@
+"""Ancestry queries over an event graph (paper §2.2–2.3, §3.2).
+
+This module implements the happened-before machinery Eg-walker relies on:
+
+* :func:`CausalGraph.diff` — given two versions, compute which events are
+  reachable from only one of them.  This drives the retreat/advance logic when
+  the walker moves its prepare version (§3.2, last paragraph).
+* :func:`CausalGraph.version_contains` — does a version's transitive closure
+  include a given event?
+* :func:`CausalGraph.ancestors` / :func:`CausalGraph.events_of_version` — the
+  ``Events(V)`` operator of §2.3.
+* :func:`CausalGraph.compare_versions` and friends — partial-order tests.
+
+All functions operate on local event indices.  Because the local event list is
+a topological order, a max-heap keyed on the index walks the graph backwards
+in causal order, which is what makes ``diff`` efficient: it visits only the
+events between the two versions and their nearest common ancestors, not the
+whole history.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from .event_graph import EventGraph, Version
+
+__all__ = ["CausalGraph", "DiffResult"]
+
+# Flags used in the diff traversal.
+_FLAG_A = 1
+_FLAG_B = 2
+_FLAG_SHARED = 3
+
+
+class DiffResult(tuple):
+    """Result of :meth:`CausalGraph.diff`: ``(only_a, only_b)``.
+
+    ``only_a`` are the events reachable from version ``a`` but not ``b``;
+    ``only_b`` vice versa.  Both lists are sorted in ascending local order.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, only_a: list[int], only_b: list[int]) -> "DiffResult":
+        return super().__new__(cls, (only_a, only_b))
+
+    @property
+    def only_a(self) -> list[int]:
+        return self[0]
+
+    @property
+    def only_b(self) -> list[int]:
+        return self[1]
+
+
+class CausalGraph:
+    """Read-only ancestry queries over an :class:`EventGraph`."""
+
+    def __init__(self, graph: EventGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> EventGraph:
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Transitive closure helpers
+    # ------------------------------------------------------------------
+    def ancestors(self, version: Version) -> set[int]:
+        """All events that happened before (or are in) ``version``.
+
+        This materialises the full ancestor set and therefore costs O(n); it
+        is used by tests, trace statistics and the simple walker, while the
+        performance-sensitive paths use :meth:`diff` instead.
+        """
+        graph = self._graph
+        seen: set[int] = set()
+        stack = list(version)
+        while stack:
+            idx = stack.pop()
+            if idx in seen:
+                continue
+            seen.add(idx)
+            stack.extend(graph.parents_of(idx))
+        return seen
+
+    def events_of_version(self, version: Version) -> set[int]:
+        """The ``Events(V)`` operator of §2.3 (alias of :meth:`ancestors`)."""
+        return self.ancestors(version)
+
+    def version_contains(self, version: Version, target: int) -> bool:
+        """Is ``target`` in the transitive closure of ``version``?
+
+        Walks backwards from ``version`` with a max-heap and stops as soon as
+        the walk drops below ``target``, so the cost is proportional to the
+        number of events between ``target`` and ``version``.
+        """
+        if not version:
+            return False
+        if target in version:
+            return True
+        graph = self._graph
+        heap = [-v for v in version if v > target]
+        if not heap:
+            return False
+        heapq.heapify(heap)
+        visited: set[int] = set()
+        while heap:
+            idx = -heapq.heappop(heap)
+            if idx in visited:
+                continue
+            visited.add(idx)
+            for p in graph.parents_of(idx):
+                if p == target:
+                    return True
+                if p > target and p not in visited:
+                    heapq.heappush(heap, -p)
+        return False
+
+    def happened_before(self, a: int, b: int) -> bool:
+        """True iff event ``a`` happened before event ``b`` (a -> b)."""
+        if a >= b:
+            return False
+        return self.version_contains(self._graph.parents_of(b), a) or a in self._graph.parents_of(b)
+
+    def concurrent(self, a: int, b: int) -> bool:
+        """True iff events ``a`` and ``b`` are concurrent (a ∥ b)."""
+        if a == b:
+            return False
+        return not self.happened_before(a, b) and not self.happened_before(b, a)
+
+    # ------------------------------------------------------------------
+    # Version algebra
+    # ------------------------------------------------------------------
+    def frontier_of(self, events: Iterable[int]) -> Version:
+        """Reduce a set of events to its frontier (remove dominated members).
+
+        The result contains exactly the events of ``events`` that are not an
+        ancestor of any other member, i.e. ``Version(Events)`` of §2.3 when
+        ``events`` is transitively closed, and more generally the dominators
+        of the given set.
+        """
+        items = sorted(set(events))
+        result: list[int] = []
+        for idx in items:
+            dominated = False
+            for other in items:
+                if other > idx and self.version_contains(self._graph.parents_of(other), idx):
+                    dominated = True
+                    break
+                if other > idx and idx in self._graph.parents_of(other):
+                    dominated = True
+                    break
+            if not dominated:
+                result.append(idx)
+        return tuple(result)
+
+    def advance_version(self, version: Version, new_event: int) -> Version:
+        """The frontier after adding ``new_event`` whose parents are known.
+
+        Assumes (as in the walker) that ``new_event``'s parents are all
+        contained in ``version``.
+        """
+        parents = set(self._graph.parents_of(new_event))
+        kept = [v for v in version if v not in parents]
+        kept.append(new_event)
+        return tuple(sorted(kept))
+
+    def merge_versions(self, a: Version, b: Version) -> Version:
+        """The version representing the union of two sets of events."""
+        return self.frontier_of(set(a) | set(b))
+
+    def versions_equal(self, a: Version, b: Version) -> bool:
+        return tuple(sorted(a)) == tuple(sorted(b))
+
+    def compare_versions(self, a: Version, b: Version) -> str:
+        """Partial-order comparison of two versions.
+
+        Returns one of ``"equal"``, ``"before"`` (a ⊂ b), ``"after"`` (a ⊃ b)
+        or ``"concurrent"``.
+        """
+        if self.versions_equal(a, b):
+            return "equal"
+        only_a, only_b = self.diff(a, b)
+        if not only_a and only_b:
+            return "before"
+        if only_a and not only_b:
+            return "after"
+        return "concurrent"
+
+    # ------------------------------------------------------------------
+    # The diff traversal (§3.2)
+    # ------------------------------------------------------------------
+    def diff(self, a: Version, b: Version) -> DiffResult:
+        """Events reachable from only ``a`` and only ``b``.
+
+        Implements the priority-queue walk described at the end of §3.2: both
+        versions' events are pushed onto a max-heap tagged with which side
+        they came from; entries are popped in descending index order, their
+        parents enqueued with the same tag, and the walk stops once every
+        remaining entry is a common ancestor of both versions.
+        """
+        graph = self._graph
+        flags: dict[int, int] = {}
+        heap: list[int] = []
+        num_not_shared = 0
+
+        def push(idx: int, flag: int) -> None:
+            nonlocal num_not_shared
+            old = flags.get(idx)
+            if old is None:
+                flags[idx] = flag
+                heapq.heappush(heap, -idx)
+                if flag != _FLAG_SHARED:
+                    num_not_shared += 1
+            elif old != flag and old != _FLAG_SHARED:
+                flags[idx] = _FLAG_SHARED
+                num_not_shared -= 1
+
+        for idx in a:
+            push(idx, _FLAG_A)
+        for idx in b:
+            push(idx, _FLAG_B)
+
+        only_a: list[int] = []
+        only_b: list[int] = []
+        while num_not_shared > 0 and heap:
+            idx = -heapq.heappop(heap)
+            flag = flags.pop(idx)
+            if flag != _FLAG_SHARED:
+                num_not_shared -= 1
+            if flag == _FLAG_A:
+                only_a.append(idx)
+            elif flag == _FLAG_B:
+                only_b.append(idx)
+            for p in graph.parents_of(idx):
+                push(p, flag)
+        only_a.reverse()
+        only_b.reverse()
+        return DiffResult(only_a, only_b)
+
+    # ------------------------------------------------------------------
+    # Conflict ranges (used for partial replay, §3.6)
+    # ------------------------------------------------------------------
+    def events_between(self, from_version: Version, to_version: Version) -> list[int]:
+        """All events in ``Events(to) - Events(from)``, ascending.
+
+        ``from_version`` must be dominated by ``to_version`` for the result to
+        be meaningful (this holds everywhere we use it); events reachable only
+        from ``from_version`` are ignored.
+        """
+        _, only_to = self.diff(from_version, to_version)
+        return only_to

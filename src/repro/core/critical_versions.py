@@ -1,0 +1,130 @@
+"""Critical version detection (paper §3.5).
+
+A version ``V`` is *critical* in an event graph ``G`` iff it partitions the
+graph into ``G1 = Events(V)`` and ``G2 = G - G1`` such that every event in
+``G1`` happened before every event in ``G2``.  Critical versions are the key
+to Eg-walker's performance on mostly-sequential histories: whenever the walker
+crosses one it can throw away its internal CRDT state, and when an event's own
+version *and* its parent version are both critical the event needs no
+transformation at all.
+
+This module computes, for a given topologically sorted sequence of events, the
+set of positions after which the prefix's version is critical (with respect to
+that event subset).  The characterisation used is proved in the docstring of
+:func:`critical_cut_positions`; it allows all cuts to be found in a single
+linear pass instead of the quadratic ancestor-set comparison implied by the
+definition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .event_graph import EventGraph
+
+__all__ = [
+    "critical_cut_positions",
+    "is_critical_version",
+    "latest_critical_cut_before",
+]
+
+
+def critical_cut_positions(graph: EventGraph, order: Sequence[int]) -> set[int]:
+    """Positions ``i`` such that the cut after ``order[i]`` is critical.
+
+    The cut after position ``i`` splits ``order`` into a prefix
+    ``P = order[:i+1]`` and suffix ``S = order[i+1:]``.  It is critical iff
+    every prefix event happened before every suffix event.  Two linear-time
+    checks are equivalent to that definition:
+
+    1. The frontier of the prefix is the singleton ``{order[i]}``.  (Every
+       other prefix event has a child inside the prefix; following children
+       must terminate at the frontier, so every prefix event is an ancestor of
+       ``order[i]``.)
+    2. No suffix event has a parent at a position earlier than ``i``, and
+       every suffix event has at least one parent inside the sorted subset.
+       (By induction along the suffix this makes ``order[i]`` an ancestor of
+       every suffix event, and combined with (1) makes every prefix event an
+       ancestor of every suffix event.)
+
+    Only events inside ``order`` are considered; parents outside the subset
+    are ignored, which is what partial replay needs (§3.6): criticality there
+    is relative to the replayed range.
+
+    Note that this detects critical versions consisting of a *single* event.
+    The paper's definition also admits multi-event critical versions (several
+    mutually concurrent frontier heads that everything later depends on); they
+    are rare in practice and skipping them only forgoes an optimisation
+    opportunity, never correctness.
+    """
+    n = len(order)
+    if n == 0:
+        return set()
+    position = {idx: i for i, idx in enumerate(order)}
+    member = set(order)
+
+    # min_parent_pos[i]: smallest position (within the order) of any in-subset
+    # parent of order[i]; n if it has none.
+    min_parent_pos = [n] * n
+    has_in_subset_parent = [False] * n
+    for i, idx in enumerate(order):
+        for p in graph.parents_of(idx):
+            if p in member:
+                has_in_subset_parent[i] = True
+                pp = position[p]
+                if pp < min_parent_pos[i]:
+                    min_parent_pos[i] = pp
+
+    # suffix_ok[i] is True iff condition (2) holds for the cut after i:
+    # every event at position j > i has an in-subset parent and none of its
+    # parents sit before position i.
+    suffix_ok = [False] * n
+    ok = True
+    min_seen = n
+    for i in range(n - 1, -1, -1):
+        suffix_ok[i] = ok and min_seen >= i
+        # Fold position i into the suffix summary for the next (smaller) cut.
+        if not has_in_subset_parent[i] and i != 0:
+            ok = False
+        if min_parent_pos[i] < min_seen:
+            min_seen = min_parent_pos[i]
+    # The cut after the final event is always "critical" in the sense that the
+    # suffix is empty; suffix_ok[n-1] computed above already reflects that
+    # because ok/min_seen start permissive.
+
+    # Condition (1): track the running frontier size of the prefix.  An event
+    # leaves the frontier when its first in-prefix child is emitted.
+    result: set[int] = set()
+    frontier_size = 0
+    in_frontier = [False] * n
+    for i in range(n):
+        # Remove parents of order[i] from the frontier (first child seen).
+        for p in graph.parents_of(order[i]):
+            if p in member:
+                pp = position[p]
+                if in_frontier[pp]:
+                    in_frontier[pp] = False
+                    frontier_size -= 1
+        in_frontier[i] = True
+        frontier_size += 1
+        if frontier_size == 1 and suffix_ok[i]:
+            result.add(i)
+    return result
+
+
+def is_critical_version(graph: EventGraph, order: Sequence[int], position: int) -> bool:
+    """Convenience wrapper: is the cut after ``order[position]`` critical?"""
+    return position in critical_cut_positions(graph, order)
+
+
+def latest_critical_cut_before(
+    graph: EventGraph, order: Sequence[int], position: int
+) -> int | None:
+    """The largest critical cut position strictly smaller than ``position``.
+
+    Returns ``None`` if there is no such cut, in which case a partial replay
+    must start from the root (the empty version).
+    """
+    cuts = critical_cut_positions(graph, order)
+    candidates = [c for c in cuts if c < position]
+    return max(candidates) if candidates else None

@@ -1,0 +1,187 @@
+"""High-level collaborative document API.
+
+:class:`Document` is the replica object an application embeds: it owns an
+:class:`~repro.core.oplog.OpLog` (the durable event graph), the current
+document text (a :class:`~repro.rope.Rope`), and uses an
+:class:`~repro.core.walker.EgWalker` to merge concurrent changes.
+
+Design points that mirror the paper:
+
+* Local edits and remote events that are *not* concurrent with anything are
+  applied directly to the text — the walker and its CRDT state are never
+  touched (§3.1), which is why the steady-state memory footprint is just the
+  text plus the (on-disk) event graph.
+* When concurrent remote events arrive, only the portion of the graph after
+  the most recent critical version is replayed (§3.6), and the transformed
+  operations are applied to the current text.
+* The full event graph is retained, so any historical version can be
+  reconstructed (:meth:`Document.text_at`) and traces can be saved to disk
+  with :mod:`repro.storage`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..rope import Rope
+from .causal_graph import CausalGraph
+from .critical_versions import latest_critical_cut_before
+from .event_graph import Version
+from .ids import EventId, Operation
+from .oplog import OpLog, RemoteEvent
+from .topo_sort import sort_branch_aware
+from .walker import EgWalker, ReplayResult
+
+__all__ = ["Document"]
+
+
+class Document:
+    """A replica of a collaboratively edited plain-text document."""
+
+    def __init__(
+        self,
+        agent: str,
+        *,
+        backend: str = "tree",
+        enable_clearing: bool = True,
+        sort_strategy: str = "branch_aware",
+    ) -> None:
+        self.agent = agent
+        self.oplog = OpLog(agent)
+        self.rope = Rope()
+        self._walker_options = {
+            "backend": backend,
+            "enable_clearing": enable_clearing,
+            "sort_strategy": sort_strategy,
+        }
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def text(self) -> str:
+        """The current document text."""
+        return str(self.rope)
+
+    def __len__(self) -> int:
+        return len(self.rope)
+
+    @property
+    def version(self) -> Version:
+        return self.oplog.version
+
+    def remote_version(self) -> tuple[EventId, ...]:
+        return self.oplog.remote_version()
+
+    # ------------------------------------------------------------------
+    # Local editing
+    # ------------------------------------------------------------------
+    def insert(self, pos: int, content: str) -> None:
+        """Insert ``content`` at ``pos`` as a local edit."""
+        if pos < 0 or pos > len(self.rope):
+            raise IndexError(f"insert position {pos} out of range (length {len(self.rope)})")
+        if not content:
+            return
+        self.oplog.add_insert(pos, content)
+        self.rope.insert(pos, content)
+
+    def delete(self, pos: int, length: int = 1) -> str:
+        """Delete ``length`` characters starting at ``pos`` as a local edit."""
+        if length <= 0:
+            return ""
+        if pos < 0 or pos + length > len(self.rope):
+            raise IndexError(
+                f"delete of {length} at {pos} out of range (length {len(self.rope)})"
+            )
+        self.oplog.add_delete(pos, length)
+        return self.rope.delete(pos, length)
+
+    # ------------------------------------------------------------------
+    # Merging remote changes
+    # ------------------------------------------------------------------
+    def merge(self, other: "Document") -> list[Operation]:
+        """Merge every event of ``other`` that this replica hasn't seen.
+
+        Returns the transformed operations that were applied to the local
+        text (the incremental update of §2.4).
+        """
+        added = self.oplog.merge_from(other.oplog)
+        return self._integrate_new_events(added)
+
+    def apply_remote_events(self, events: Iterable[RemoteEvent]) -> list[Operation]:
+        """Ingest a batch of events from the network and update the text."""
+        added = self.oplog.ingest_events(events)
+        return self._integrate_new_events(added)
+
+    def events_since(self, remote_version: Sequence[EventId]) -> list[RemoteEvent]:
+        """Events a peer at ``remote_version`` is missing (for replication)."""
+        return self.oplog.events_since(remote_version)
+
+    # ------------------------------------------------------------------
+    # History
+    # ------------------------------------------------------------------
+    def text_at(self, version: Version) -> str:
+        """Reconstruct the document text at an arbitrary historical version."""
+        walker = self._make_walker()
+        return walker.text_at_version(version)
+
+    def history_versions(self) -> list[Version]:
+        """Every prefix version in local order (useful for history browsing)."""
+        return [tuple([idx]) for idx in range(len(self.oplog.graph))]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _make_walker(self) -> EgWalker:
+        return EgWalker(self.oplog.graph, **self._walker_options)
+
+    def _integrate_new_events(self, added: list[int]) -> list[Operation]:
+        if not added:
+            return []
+        graph = self.oplog.graph
+        first_new = min(added)
+
+        # Find the most recent critical version (of the graph in local order)
+        # that precedes all new events; everything before it is already
+        # reflected identically in our text and the remote's, so the replay
+        # can start there (§3.6).
+        local_order = list(range(len(graph)))
+        cut = latest_critical_cut_before(graph, local_order, first_new)
+        if cut is None:
+            base_version: Version = ()
+            replay_start = 0
+        else:
+            base_version = (local_order[cut],)
+            replay_start = cut + 1
+
+        old_range = [idx for idx in range(replay_start, first_new)]
+        new_events = sorted(added)
+        order = sort_branch_aware(graph, old_range) + sort_branch_aware(graph, new_events)
+
+        # The placeholder must be at least as long as the document was at the
+        # base version; the current length plus every deletion replayed on the
+        # old side is a safe upper bound (over-length placeholders are
+        # harmless, see InternalState.clear).
+        deletes_in_old_range = sum(1 for idx in old_range if graph[idx].op.is_delete)
+        base_doc_length = len(self.rope) + deletes_in_old_range
+
+        walker = self._make_walker()
+        result: ReplayResult = walker.transform(
+            old_range + new_events,
+            base_version=base_version,
+            base_doc_length=base_doc_length,
+            order=order,
+            emit_only=set(new_events),
+        )
+
+        applied: list[Operation] = []
+        for entry in result.transformed:
+            op = entry.op
+            if op is None:
+                continue
+            if op.is_insert:
+                self.rope.insert(op.pos, op.content)
+            else:
+                self.rope.delete(op.pos, op.length)
+            applied.append(op)
+        return applied

@@ -1,0 +1,243 @@
+"""The event graph: an append-only DAG of editing events (paper §2.2).
+
+Every replica stores the full editing history of a document as a directed
+acyclic graph.  Each node is an :class:`Event` holding a single-character
+insert or delete operation, a globally unique :class:`~repro.core.ids.EventId`
+and the set of ids of its parent events.  The graph is transitively reduced by
+construction: a new event's parents are always the frontier of the graph as
+the generating replica saw it.
+
+Locally, events are stored in an append-only list.  Because an event can only
+be added once all of its parents are present, the list order is always a valid
+topological order, and most algorithms in this package address events by their
+integer index in that list (the *local index*).  Versions (frontiers) are
+represented as sorted tuples of local indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .ids import EventId, Operation, OpKind
+
+__all__ = ["Event", "EventGraph", "Version", "ROOT_VERSION"]
+
+#: A version (frontier) is a sorted tuple of local event indices.  The empty
+#: tuple is the root version: the state of the document before any events.
+Version = tuple[int, ...]
+
+ROOT_VERSION: Version = ()
+
+
+@dataclass(slots=True)
+class Event:
+    """A single editing event in the graph.
+
+    Attributes:
+        index: local index of this event in the owning graph.
+        id: globally unique ``(agent, seq)`` identifier.
+        parents: local indices of this event's parent events (sorted).  The
+            empty tuple means the event has no parents (it was generated
+            against the empty document).
+        op: the single-character operation this event performs.
+    """
+
+    index: int
+    id: EventId
+    parents: Version
+    op: Operation
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "ins" if self.op.is_insert else "del"
+        payload = repr(self.op.content) if self.op.is_insert else ""
+        return (
+            f"Event({self.index}, {self.id.agent}:{self.id.seq}, "
+            f"parents={list(self.parents)}, {kind}@{self.op.pos}{payload})"
+        )
+
+
+class EventGraph:
+    """Append-only store of events plus the id <-> index mapping.
+
+    The graph grows monotonically; events are never removed and an existing
+    event's parents never change (paper §2.2).  Two replicas merge their
+    graphs by taking the union of their event sets, which here is implemented
+    by :meth:`add_remote_event` / :meth:`merge_from`.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._index_of: dict[EventId, int] = {}
+        self._children: list[list[int]] = []
+        self._frontier: list[int] = []
+        self._next_seq: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def events(self) -> Sequence[Event]:
+        """All events in local (topological) order."""
+        return self._events
+
+    def contains_id(self, event_id: EventId) -> bool:
+        return event_id in self._index_of
+
+    def index_of(self, event_id: EventId) -> int:
+        """Local index of the event with the given id.
+
+        Raises:
+            KeyError: if the event is not (yet) in this graph.
+        """
+        return self._index_of[event_id]
+
+    def id_of(self, index: int) -> EventId:
+        return self._events[index].id
+
+    def parents_of(self, index: int) -> Version:
+        return self._events[index].parents
+
+    def children_of(self, index: int) -> Sequence[int]:
+        return self._children[index]
+
+    @property
+    def frontier(self) -> Version:
+        """The current version of the graph: all events with no children."""
+        return tuple(sorted(self._frontier))
+
+    def next_seq_for(self, agent: str) -> int:
+        """The next unused sequence number for ``agent`` in this graph."""
+        return self._next_seq.get(agent, 0)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_event(
+        self,
+        event_id: EventId,
+        parents: Iterable[EventId] | Iterable[int],
+        op: Operation,
+        *,
+        parents_are_indices: bool = False,
+    ) -> Event:
+        """Add a single-character event to the graph.
+
+        Args:
+            event_id: the globally unique id of the new event.  Must not
+                already be present.
+            parents: parent events, either as :class:`EventId` values or as
+                local indices (set ``parents_are_indices``).  All parents must
+                already be in the graph (causal delivery is the caller's
+                responsibility — see :mod:`repro.network.causal_broadcast`).
+            op: a single-character insert or delete operation.
+
+        Returns:
+            The newly created :class:`Event`.
+        """
+        if op.length != 1:
+            raise ValueError(
+                "the event graph stores one event per character; expand "
+                "multi-character operations before adding them"
+            )
+        if event_id in self._index_of:
+            raise ValueError(f"duplicate event id {event_id}")
+        if parents_are_indices:
+            parent_indices = sorted(int(p) for p in parents)
+        else:
+            parent_indices = sorted(self._index_of[p] for p in parents)  # type: ignore[index]
+        index = len(self._events)
+        for p in parent_indices:
+            if p < 0 or p >= index:
+                raise ValueError(f"parent index {p} out of range for event {index}")
+        event = Event(index=index, id=event_id, parents=tuple(parent_indices), op=op)
+        self._events.append(event)
+        self._children.append([])
+        self._index_of[event_id] = index
+        for p in parent_indices:
+            self._children[p].append(index)
+        # Maintain the frontier incrementally: the new event replaces any of
+        # its parents that were frontier members, and is itself a frontier
+        # member (nothing can be its child yet).
+        parent_set = set(parent_indices)
+        self._frontier = [f for f in self._frontier if f not in parent_set]
+        self._frontier.append(index)
+        expected = self._next_seq.get(event_id.agent, 0)
+        if event_id.seq >= expected:
+            self._next_seq[event_id.agent] = event_id.seq + 1
+        return event
+
+    def add_local_event(self, agent: str, op: Operation) -> Event:
+        """Add an event generated locally by ``agent``.
+
+        The new event's parents are the current frontier and its sequence
+        number is allocated automatically.
+        """
+        event_id = EventId(agent, self.next_seq_for(agent))
+        return self.add_event(event_id, self.frontier, op, parents_are_indices=True)
+
+    def add_remote_event(
+        self, event_id: EventId, parent_ids: Iterable[EventId], op: Operation
+    ) -> Event | None:
+        """Add an event received from another replica.
+
+        Returns ``None`` (and ignores the event) if it is already present,
+        which makes delivery idempotent.  Raises :class:`KeyError` if any
+        parent is missing; the replication layer is expected to hold such
+        events back until their parents arrive.
+        """
+        if event_id in self._index_of:
+            return None
+        return self.add_event(event_id, parent_ids, op)
+
+    def merge_from(self, other: "EventGraph") -> list[int]:
+        """Union this graph with ``other`` (paper §2.2).
+
+        Events of ``other`` that are missing locally are added in ``other``'s
+        local order, which is guaranteed to deliver parents before children.
+
+        Returns:
+            The local indices (in *this* graph) of the newly added events.
+        """
+        added: list[int] = []
+        for event in other.events():
+            if event.id in self._index_of:
+                continue
+            parent_ids = [other.id_of(p) for p in event.parents]
+            new_event = self.add_event(event.id, parent_ids, event.op)
+            added.append(new_event.index)
+        return added
+
+    # ------------------------------------------------------------------
+    # Version helpers
+    # ------------------------------------------------------------------
+    def version_from_ids(self, ids: Iterable[EventId]) -> Version:
+        """Convert a set of event ids into a local-index version tuple."""
+        return tuple(sorted(self._index_of[i] for i in ids))
+
+    def ids_from_version(self, version: Version) -> tuple[EventId, ...]:
+        """Convert a local-index version into globally meaningful event ids."""
+        return tuple(self._events[i].id for i in version)
+
+    def is_valid_version(self, version: Version) -> bool:
+        """Check that ``version`` only references events present in the graph."""
+        return all(0 <= i < len(self._events) for i in version)
+
+    def summary(self) -> dict[str, int]:
+        """Cheap summary statistics used by the trace tooling."""
+        inserts = sum(1 for e in self._events if e.op.is_insert)
+        deletes = len(self._events) - inserts
+        return {
+            "events": len(self._events),
+            "inserts": inserts,
+            "deletes": deletes,
+            "agents": len(self._next_seq),
+        }

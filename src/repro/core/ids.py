@@ -1,0 +1,150 @@
+"""Core identifier and operation types for the event graph.
+
+Every editing event is identified globally by an :class:`EventId` — a pair of
+the replica (agent) that generated it and a per-agent sequence number.  Within
+a single :class:`~repro.core.event_graph.EventGraph` events are also addressed
+by a compact local integer index (their position in the append-only event
+list), which is what most of the algorithms in this package operate on.
+
+Operations are plain index-based insertions and deletions, exactly as a text
+editor would emit them (paper §2).  Runs of consecutive characters are kept as
+a single operation with ``len(content) > 1`` / ``length > 1`` where convenient,
+but the replay algorithms treat each character as one event, matching the
+paper's presentation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import NamedTuple
+
+__all__ = [
+    "EventId",
+    "OpKind",
+    "Operation",
+    "insert_op",
+    "delete_op",
+    "ROOT_AGENT",
+]
+
+#: Agent name reserved for the implicit root of a document's history.
+ROOT_AGENT = "__root__"
+
+
+class EventId(NamedTuple):
+    """Globally unique identifier of an event: ``(agent, seq)``.
+
+    ``agent`` is an arbitrary string naming the replica that generated the
+    event; ``seq`` is a monotonically increasing, densely allocated counter
+    local to that agent.  Event ids are totally ordered lexicographically,
+    which gives the deterministic tie-break used when ordering concurrent
+    insertions (§3.3).
+    """
+
+    agent: str
+    seq: int
+
+    def next(self) -> "EventId":
+        """Return the id immediately following this one for the same agent."""
+        return EventId(self.agent, self.seq + 1)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.agent}:{self.seq}"
+
+
+class OpKind(enum.IntEnum):
+    """The two kinds of text operation the system supports."""
+
+    INSERT = 0
+    DELETE = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """An index-based text operation.
+
+    Attributes:
+        kind: whether this is an insertion or a deletion.
+        pos: zero-based character index at which the operation applies, in the
+            document version defined by the parents of the event carrying it.
+        content: for insertions, the inserted text (one or more characters).
+            Empty for deletions.
+        length: number of characters affected.  For insertions this always
+            equals ``len(content)``; for deletions it is the number of
+            consecutive characters removed starting at ``pos``.
+    """
+
+    kind: OpKind
+    pos: int
+    content: str = ""
+    length: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.INSERT:
+            if not self.content:
+                raise ValueError("insert operations must carry content")
+            if self.length != len(self.content):
+                object.__setattr__(self, "length", len(self.content))
+        else:
+            if self.content:
+                raise ValueError("delete operations must not carry content")
+            if self.length < 1:
+                raise ValueError("delete length must be >= 1")
+        if self.pos < 0:
+            raise ValueError("operation position must be >= 0")
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind is OpKind.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.kind is OpKind.DELETE
+
+    @property
+    def end(self) -> int:
+        """One past the last index touched (in the operation's own version)."""
+        return self.pos + self.length
+
+    def char_at(self, offset: int) -> "Operation":
+        """Return the single-character sub-operation at ``offset``.
+
+        Used when expanding a run-length operation into per-character events.
+        """
+        if offset < 0 or offset >= self.length:
+            raise IndexError(f"offset {offset} out of range for {self}")
+        if self.kind is OpKind.INSERT:
+            return Operation(OpKind.INSERT, self.pos + offset, self.content[offset])
+        # A run of deletions all happen at the *same* index: deleting the char
+        # at pos repeatedly removes pos, pos+1, ... of the original document.
+        return Operation(OpKind.DELETE, self.pos)
+
+    def apply_to(self, text: str) -> str:
+        """Apply this operation to ``text`` and return the new string.
+
+        This is a convenience used by tests and simple replicas; the real
+        document state uses :class:`repro.rope.Rope`.
+        """
+        if self.kind is OpKind.INSERT:
+            if self.pos > len(text):
+                raise IndexError(
+                    f"insert at {self.pos} beyond end of document (len {len(text)})"
+                )
+            return text[: self.pos] + self.content + text[self.pos :]
+        if self.end > len(text):
+            raise IndexError(
+                f"delete of {self.length} at {self.pos} beyond end of document "
+                f"(len {len(text)})"
+            )
+        return text[: self.pos] + text[self.end :]
+
+
+def insert_op(pos: int, content: str) -> Operation:
+    """Build an insertion operation."""
+    return Operation(OpKind.INSERT, pos, content)
+
+
+def delete_op(pos: int, length: int = 1) -> Operation:
+    """Build a deletion operation removing ``length`` chars starting at ``pos``."""
+    return Operation(OpKind.DELETE, pos, "", length)

@@ -1,0 +1,250 @@
+"""Eg-walker's transient internal CRDT state (paper §3.3–3.4, §3.6).
+
+The :class:`InternalState` holds the sequence of character records the walker
+uses to transform operations, together with the map from event ids to records
+(the paper's second B-tree).  It exposes exactly the three methods of §3.2 —
+``apply``, ``retreat`` and ``advance`` (here split into insert/delete flavours
+of apply) — plus ``clear`` for the state-clearing optimisation of §3.5.
+
+Concurrent insertions at the same position are ordered with a YATA-style
+integration rule (the "YjsMod" variant used by the paper's reference
+implementation): each record stores the item to its left and the next item
+that existed in its prepare version at insertion time (its *origins*), and a
+small scan over the other concurrent records placed at the same gap decides a
+consistent total order regardless of the order in which the events are
+replayed.
+
+The sequence itself is provided by a pluggable backend (list or
+order-statistic tree, see :mod:`repro.core.sequence`), so this module contains
+only algorithmic logic and no data-structure code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from .ids import EventId
+from .records import (
+    INSERTED,
+    NOT_YET_INSERTED,
+    CrdtRecord,
+    Item,
+    OriginRef,
+    PlaceholderPiece,
+)
+from .sequence import Cursor, ListSequence, SequenceBackend, synthetic_record_id
+
+__all__ = ["InternalState"]
+
+
+class InternalState:
+    """The walker's transient CRDT state over a pluggable sequence backend."""
+
+    def __init__(self, backend: SequenceBackend | None = None) -> None:
+        self.sequence: SequenceBackend = backend if backend is not None else ListSequence()
+        #: Maps event ids to the record they inserted (insert events) or the
+        #: record of the character they deleted (delete events).  This is the
+        #: paper's second B-tree; records carry a back-pointer to their leaf
+        #: when the tree backend is in use, so a plain dict suffices here.
+        self.id_map: dict[EventId, CrdtRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def clear(self, document_length: int) -> None:
+        """Discard all records and restart from a placeholder (§3.5–3.6).
+
+        ``document_length`` is the length of the document at the version the
+        state now represents.  An upper bound is acceptable: the spare
+        placeholder units sit at the end of the sequence where no valid event
+        can address them, so they never affect transformed indexes.
+        """
+        self.sequence.clear(document_length)
+        self.id_map.clear()
+
+    # ------------------------------------------------------------------
+    # apply
+    # ------------------------------------------------------------------
+    def apply_insert(self, event_id: EventId, pos: int) -> int:
+        """Apply an insertion at prepare-version index ``pos``.
+
+        Returns the transformed (effect-version) index at which the character
+        must be inserted into the document.
+        """
+        cursor = self.sequence.find_insert_cursor(pos)
+        origin_left = self.sequence.origin_left_of_cursor(cursor)
+        origin_right = self.sequence.next_existing_in_prepare(cursor)
+        record = CrdtRecord(
+            id=event_id,
+            origin_left=origin_left,
+            origin_right=origin_right,
+            prepare_state=INSERTED,
+            ever_deleted=False,
+        )
+        self._integrate(cursor, record, origin_left, origin_right)
+        self.id_map[event_id] = record
+        return self.sequence.effect_position_of_item(record)
+
+    def apply_delete(self, event_id: EventId, pos: int) -> int | None:
+        """Apply a deletion of the character at prepare-version index ``pos``.
+
+        Returns the transformed index to delete from the document, or ``None``
+        if the character was already deleted in the effect version (the
+        transformed operation is a no-op).
+        """
+        item, offset = self.sequence.find_visible_unit(pos)
+        if isinstance(item, PlaceholderPiece):
+            # The deleted character was inserted before the replay's base
+            # version; carve a record out of the placeholder (§3.6).
+            effect_pos = self.sequence.effect_position_of_item(item, offset)
+            record = CrdtRecord(
+                id=synthetic_record_id(),
+                prepare_state=INSERTED + 1,  # Del 1
+                ever_deleted=True,
+            )
+            self.sequence.convert_placeholder_unit(item, offset, record)
+            self.id_map[event_id] = record
+            return effect_pos
+
+        record = item
+        if record.prepare_state != INSERTED:  # pragma: no cover - defensive
+            raise RuntimeError(
+                "delete targets a character that is not visible in the prepare "
+                "version; the event graph is invalid"
+            )
+        was_effect_visible = not record.ever_deleted
+        effect_pos = (
+            self.sequence.effect_position_of_item(record) if was_effect_visible else None
+        )
+        record.prepare_state += 1
+        d_effect = 0
+        if was_effect_visible:
+            record.ever_deleted = True
+            d_effect = -1
+        self.sequence.update_item_counts(record, -1, d_effect)
+        self.id_map[event_id] = record
+        return effect_pos
+
+    # ------------------------------------------------------------------
+    # retreat / advance
+    # ------------------------------------------------------------------
+    def retreat(self, event_id: EventId, is_insert: bool) -> None:
+        """Remove ``event_id`` from the prepare version (§3.2)."""
+        record = self.id_map[event_id]
+        if is_insert:
+            if record.prepare_state != INSERTED:  # pragma: no cover - defensive
+                raise RuntimeError("retreating an insert whose record is not Ins")
+            record.prepare_state = NOT_YET_INSERTED
+            self.sequence.update_item_counts(record, -1, 0)
+        else:
+            if record.prepare_state < INSERTED + 1:  # pragma: no cover - defensive
+                raise RuntimeError("retreating a delete whose record is not Del n")
+            record.prepare_state -= 1
+            if record.prepare_state == INSERTED:
+                self.sequence.update_item_counts(record, +1, 0)
+
+    def advance(self, event_id: EventId, is_insert: bool) -> None:
+        """Add ``event_id`` back into the prepare version (§3.2)."""
+        record = self.id_map[event_id]
+        if is_insert:
+            if record.prepare_state != NOT_YET_INSERTED:  # pragma: no cover - defensive
+                raise RuntimeError("advancing an insert whose record is not NIY")
+            record.prepare_state = INSERTED
+            self.sequence.update_item_counts(record, +1, 0)
+        else:
+            if record.prepare_state < INSERTED:  # pragma: no cover - defensive
+                raise RuntimeError("advancing a delete whose record is NIY")
+            was_visible = record.prepare_state == INSERTED
+            record.prepare_state += 1
+            if was_visible:
+                self.sequence.update_item_counts(record, -1, 0)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and the memory benchmarks)
+    # ------------------------------------------------------------------
+    def iter_records(self) -> Iterator[Item]:
+        return self.sequence.iter_items()
+
+    def prepare_length(self) -> int:
+        return self.sequence.prepare_length()
+
+    def effect_length(self) -> int:
+        return self.sequence.effect_length()
+
+    def record_count(self) -> int:
+        return self.sequence.memory_items()
+
+    # ------------------------------------------------------------------
+    # Concurrent-insert ordering (YATA / YjsMod integration)
+    # ------------------------------------------------------------------
+    def _integrate(
+        self,
+        cursor: Cursor,
+        record: CrdtRecord,
+        origin_left: OriginRef,
+        origin_right: OriginRef,
+    ) -> None:
+        """Place ``record`` among concurrent insertions at the same gap.
+
+        Implements the YjsMod integration rule used by the paper's reference
+        implementation: scan the not-yet-inserted records sitting between the
+        new record's origins and decide, from *their* origins and a final id
+        tie-break, whether the new record goes before or after each of them.
+        The resulting order is independent of the replay order (Lemma C.5).
+        """
+        if cursor.item is not None and cursor.offset > 0:
+            # The gap is strictly inside a placeholder piece: there can be no
+            # concurrent records at this gap, so insert directly (splitting
+            # the placeholder).
+            self.sequence.insert_record_at_cursor(cursor, record)
+            return
+
+        seq = self.sequence
+        # The origin positions are only needed if there is at least one
+        # concurrent (not-yet-inserted) record at the insertion gap, which is
+        # rare; compute them lazily so the common case stays cheap.
+        left_pos: float | None = None
+        right_pos: float | None = None
+
+        dest_before: Item | None = cursor.item
+        scanning = False
+        exhausted = True
+        for other in seq.iter_items_from_cursor(cursor):
+            if not scanning:
+                dest_before = other
+            if isinstance(other, PlaceholderPiece) or other.exists_in_prepare:
+                # Reached the first item that exists in the prepare version,
+                # i.e. the new record's right origin: stop scanning.
+                exhausted = False
+                break
+            if left_pos is None:
+                left_pos = (
+                    -1 if origin_left is None else seq.unit_position_of_ref(origin_left)
+                )
+                right_pos = (
+                    math.inf
+                    if origin_right is None
+                    else seq.unit_position_of_ref(origin_right)
+                )
+            # ``other`` is a concurrent, not-yet-inserted record.
+            oleft = (
+                -1
+                if other.origin_left is None
+                else seq.unit_position_of_ref(other.origin_left)
+            )
+            oright = (
+                math.inf
+                if other.origin_right is None
+                else seq.unit_position_of_ref(other.origin_right)
+            )
+            if oleft < left_pos or (
+                oleft == left_pos and oright == right_pos and record.id < other.id
+            ):
+                exhausted = False
+                break
+            if oleft == left_pos:
+                scanning = oright < right_pos
+        if exhausted and not scanning:
+            dest_before = None
+        seq.insert_record_before_item(dest_before, record)

@@ -1,0 +1,153 @@
+"""The operation log: a replica's durable editing history (paper §3, §2.1).
+
+The :class:`OpLog` is the part of a replica's state that is persisted and
+replicated: the event graph.  It offers the editor-facing operations (insert /
+delete runs of text, which are expanded into the per-character events the
+graph stores), the replication-facing operations (enumerate events missing
+from a remote version, ingest remote events), and version bookkeeping.
+
+It deliberately does *not* hold the document text — that lives in
+:class:`repro.core.document.Document` — nor any CRDT metadata, which is the
+whole point of Eg-walker: in the steady state only the plain text and the
+(on-disk) event graph exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .causal_graph import CausalGraph
+from .event_graph import Event, EventGraph, Version
+from .ids import EventId, Operation, OpKind, delete_op, insert_op
+
+__all__ = ["OpLog", "RemoteEvent"]
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteEvent:
+    """A portable, self-contained description of one event.
+
+    This is what gets sent over the network (and what the storage encoder
+    serialises): the event id, the ids of its parents, and the operation.
+    Local indices are never exchanged between replicas.
+    """
+
+    id: EventId
+    parents: tuple[EventId, ...]
+    op: Operation
+
+
+class OpLog:
+    """A replica's event graph plus convenience editing / replication APIs."""
+
+    def __init__(self, agent: str | None = None) -> None:
+        self.graph = EventGraph()
+        self.causal = CausalGraph(self.graph)
+        self.agent = agent
+
+    # ------------------------------------------------------------------
+    # Local editing
+    # ------------------------------------------------------------------
+    def add_insert(self, pos: int, content: str, *, agent: str | None = None) -> list[Event]:
+        """Record a local insertion of ``content`` at index ``pos``.
+
+        The run is expanded into one event per character; each character's
+        event has the previous one as its sole parent, mirroring how the text
+        was typed (and how the columnar storage format will re-compress it).
+        """
+        agent_name = self._agent(agent)
+        events = []
+        for offset, char in enumerate(content):
+            events.append(self.graph.add_local_event(agent_name, insert_op(pos + offset, char)))
+        return events
+
+    def add_delete(self, pos: int, length: int = 1, *, agent: str | None = None) -> list[Event]:
+        """Record a local deletion of ``length`` characters starting at ``pos``.
+
+        Deleting a run is expressed as ``length`` single-character deletions
+        at the *same* index, because after each deletion the following
+        characters shift left by one.
+        """
+        agent_name = self._agent(agent)
+        events = []
+        for _ in range(length):
+            events.append(self.graph.add_local_event(agent_name, delete_op(pos)))
+        return events
+
+    def _agent(self, agent: str | None) -> str:
+        name = agent if agent is not None else self.agent
+        if name is None:
+            raise ValueError("no agent configured for this OpLog; pass agent= explicitly")
+        return name
+
+    # ------------------------------------------------------------------
+    # Versions
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> Version:
+        """The current frontier of the event graph."""
+        return self.graph.frontier
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def remote_version(self) -> tuple[EventId, ...]:
+        """The frontier expressed as event ids (safe to send to other replicas)."""
+        return self.graph.ids_from_version(self.graph.frontier)
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def export_events(self, indices: Iterable[int] | None = None) -> list[RemoteEvent]:
+        """Export events (all of them by default) in portable form."""
+        if indices is None:
+            indices = range(len(self.graph))
+        out: list[RemoteEvent] = []
+        for idx in indices:
+            event = self.graph[idx]
+            out.append(
+                RemoteEvent(
+                    id=event.id,
+                    parents=self.graph.ids_from_version(event.parents),
+                    op=event.op,
+                )
+            )
+        return out
+
+    def events_since(self, remote_version: Sequence[EventId]) -> list[RemoteEvent]:
+        """Events the remote replica (at ``remote_version``) is missing.
+
+        Event ids the local graph does not know are ignored: the remote is
+        simply ahead of us on those branches and needs nothing for them.
+        """
+        known = [eid for eid in remote_version if self.graph.contains_id(eid)]
+        local_version = self.graph.version_from_ids(known)
+        _, missing = self.causal.diff(local_version, self.graph.frontier)
+        return self.export_events(missing)
+
+    def ingest_events(self, events: Iterable[RemoteEvent]) -> list[int]:
+        """Add remote events to the graph (idempotently).
+
+        Events must arrive with their parents either already known or earlier
+        in the same batch (the causal-broadcast layer guarantees this).
+
+        Returns:
+            Local indices of the events that were actually new.
+        """
+        added: list[int] = []
+        for remote in events:
+            event = self.graph.add_remote_event(remote.id, remote.parents, remote.op)
+            if event is not None:
+                added.append(event.index)
+        return added
+
+    def merge_from(self, other: "OpLog") -> list[int]:
+        """Union this log with another replica's log (paper §2.2)."""
+        return self.graph.merge_from(other.graph)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        return self.graph.summary()

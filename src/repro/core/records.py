@@ -1,0 +1,169 @@
+"""Internal-state record types for Eg-walker (paper §3.3, §3.6).
+
+The walker's internal state is a linear sequence of *items*.  Each item is
+either:
+
+* a :class:`CrdtRecord` — one inserted character, carrying the id of the event
+  that inserted it, the CRDT origin references used to order concurrent
+  insertions, the prepare-version state ``s_p`` and the effect-version state
+  ``s_e`` (here a boolean ``ever_deleted``); or
+* a :class:`PlaceholderPiece` — a run of characters that were inserted before
+  the version the replay started from (§3.6).  Placeholders count as visible
+  in both the prepare and the effect version, and are split whenever an event
+  needs to address a character inside them.
+
+The prepare state ``s_p`` follows the state machine of Figure 5 and is encoded
+as an integer exactly like the pseudocode in Appendix B:
+
+* ``0`` — ``NotInsertedYet`` (the insertion has been retreated),
+* ``1`` — ``Ins`` (inserted, visible),
+* ``n >= 2`` — ``Del (n-1)`` (deleted by ``n-1`` concurrent delete events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .ids import EventId
+
+__all__ = [
+    "NOT_YET_INSERTED",
+    "INSERTED",
+    "CrdtRecord",
+    "PlaceholderPiece",
+    "Item",
+    "OriginRef",
+    "START",
+    "END",
+    "placeholder_origin",
+]
+
+NOT_YET_INSERTED = 0
+INSERTED = 1
+
+#: Sentinels for origin references at the very start / end of the document.
+START = None
+END = None
+
+
+@dataclass(slots=True, eq=False)
+class CrdtRecord:
+    """One character of the internal state.
+
+    Attributes:
+        id: id of the insertion event that created this character, or a
+            synthetic local id for characters carved out of a placeholder by a
+            deletion (§3.6: "a placeholder ID that only needs to be unique
+            within the local replica").
+        origin_left: reference to the item immediately to the left of this
+            character in the prepare version at the time it was inserted
+            (``None`` for the document start).  Used by the list CRDT to order
+            concurrent insertions.
+        origin_right: reference to the next item that existed in the prepare
+            version at insertion time (``None`` for the document end).
+        prepare_state: the ``s_p`` integer state (see module docstring).
+        ever_deleted: the ``s_e`` state — ``True`` iff any replayed event has
+            deleted this character.
+        leaf: back-pointer maintained by the tree sequence backend so a record
+            can be located in O(log n); unused by the list backend.
+    """
+
+    id: EventId
+    origin_left: "OriginRef" = None
+    origin_right: "OriginRef" = None
+    prepare_state: int = INSERTED
+    ever_deleted: bool = False
+    leaf: object = None
+
+    # ------------------------------------------------------------------
+    @property
+    def prepare_visible(self) -> bool:
+        """Visible (inserted and not deleted) in the prepare version."""
+        return self.prepare_state == INSERTED
+
+    @property
+    def exists_in_prepare(self) -> bool:
+        """Inserted (possibly deleted) in the prepare version (``s_p >= 1``)."""
+        return self.prepare_state >= INSERTED
+
+    @property
+    def effect_visible(self) -> bool:
+        """Visible in the effect version (never deleted by a replayed event)."""
+        return not self.ever_deleted
+
+    # Unit accounting -- records always represent exactly one character.
+    @property
+    def units(self) -> int:
+        return 1
+
+    @property
+    def prepare_units(self) -> int:
+        return 1 if self.prepare_state == INSERTED else 0
+
+    @property
+    def effect_units(self) -> int:
+        return 0 if self.ever_deleted else 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CrdtRecord({self.id.agent}:{self.id.seq}, sp={self.prepare_state}, "
+            f"del={self.ever_deleted})"
+        )
+
+
+@dataclass(slots=True, eq=False)
+class PlaceholderPiece:
+    """A run of characters inserted before the replay's base version (§3.6).
+
+    Placeholder pieces stand in for document content whose events are not part
+    of the current replay.  ``base`` is the offset of the first character of
+    this piece within the *original* placeholder created when the internal
+    state was last cleared; it never changes, so ``('ph', base + k)`` is a
+    stable way to refer to the ``k``-th character of the piece even after the
+    piece is split.
+    """
+
+    base: int
+    length: int
+    leaf: object = None
+
+    @property
+    def units(self) -> int:
+        return self.length
+
+    @property
+    def prepare_units(self) -> int:
+        return self.length
+
+    @property
+    def effect_units(self) -> int:
+        return self.length
+
+    @property
+    def prepare_visible(self) -> bool:
+        return True
+
+    @property
+    def exists_in_prepare(self) -> bool:
+        return True
+
+    @property
+    def effect_visible(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PlaceholderPiece(base={self.base}, len={self.length})"
+
+
+Item = Union[CrdtRecord, PlaceholderPiece]
+
+#: An origin reference is ``None`` (document start/end), a :class:`CrdtRecord`
+#: or a ``('ph', original_offset)`` tuple naming a character that is (or was)
+#: inside the placeholder.
+OriginRef = Union[None, CrdtRecord, tuple]
+
+
+def placeholder_origin(original_offset: int) -> tuple:
+    """Build an origin reference to a character inside the placeholder."""
+    return ("ph", original_offset)

@@ -1,0 +1,338 @@
+"""Sequence backends for the walker's internal state (paper §3.3–3.4).
+
+The internal state is a linear sequence of items (character records and
+placeholder pieces, see :mod:`repro.core.records`).  The walker needs to
+
+* map a prepare-version index to the item holding that character,
+* map an item back to its effect-version index,
+* insert new records at arbitrary positions,
+* split placeholder pieces, and
+* adjust visibility counters when an item's ``s_p`` / ``s_e`` state changes.
+
+Two interchangeable backends implement this contract:
+
+* :class:`ListSequence` — a plain Python list.  Lookups are linear scans, so
+  the cost per operation is O(n).  This mirrors the paper's simple TypeScript
+  reference implementation and doubles as the correctness oracle in tests.
+* :class:`~repro.core.order_statistic_tree.TreeSequence` — a counted B+-tree
+  (an order statistic tree, §3.4) with O(log n) lookups and updates; this is
+  what the optimised walker uses.
+
+Positions are expressed in *units*: a record is one unit, a placeholder piece
+of length L is L units.  A :class:`Cursor` identifies a gap between units.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .ids import EventId
+from .records import (
+    INSERTED,
+    CrdtRecord,
+    Item,
+    OriginRef,
+    PlaceholderPiece,
+    placeholder_origin,
+)
+
+__all__ = ["Cursor", "SequenceBackend", "ListSequence"]
+
+_synthetic_counter = itertools.count()
+
+
+def synthetic_record_id() -> EventId:
+    """A locally unique id for a record carved out of a placeholder.
+
+    Placeholder ids only need to be unique within the local replica (§3.6);
+    they are never replicated, compared across replicas, or persisted.
+    """
+    return EventId("__placeholder__", next(_synthetic_counter))
+
+
+@dataclass(slots=True)
+class Cursor:
+    """A gap in the item sequence: before unit ``offset`` of ``item``.
+
+    ``item is None`` means the cursor is at the very end of the sequence.
+    ``offset`` is only meaningful for placeholder pieces (records are a single
+    unit, so a cursor inside a record is impossible).
+    """
+
+    item: Item | None
+    offset: int = 0
+
+    @property
+    def at_end(self) -> bool:
+        return self.item is None
+
+
+class SequenceBackend:
+    """Abstract contract shared by the list and tree backends."""
+
+    # -- construction / reset -------------------------------------------------
+    def clear(self, placeholder_length: int) -> None:
+        """Reset to a single placeholder of ``placeholder_length`` units."""
+        raise NotImplementedError
+
+    # -- lookups --------------------------------------------------------------
+    def find_insert_cursor(self, prepare_pos: int) -> Cursor:
+        """Leftmost gap with exactly ``prepare_pos`` prepare-visible units before it."""
+        raise NotImplementedError
+
+    def find_visible_unit(self, prepare_pos: int) -> tuple[Item, int]:
+        """The unit that is the ``prepare_pos``-th prepare-visible unit."""
+        raise NotImplementedError
+
+    def origin_left_of_cursor(self, cursor: Cursor) -> OriginRef:
+        """Reference to the unit immediately before ``cursor`` (None = start)."""
+        raise NotImplementedError
+
+    def next_existing_in_prepare(self, cursor: Cursor) -> OriginRef:
+        """Reference to the first unit at/after ``cursor`` that exists in the
+        prepare version (``s_p >= 1`` or placeholder); None = document end."""
+        raise NotImplementedError
+
+    def unit_position_of_ref(self, ref: OriginRef) -> int:
+        """Absolute unit index of an origin reference."""
+        raise NotImplementedError
+
+    def effect_position_of_item(self, item: Item, offset: int = 0) -> int:
+        """Number of effect-visible units strictly before the given unit."""
+        raise NotImplementedError
+
+    def iter_items_from_cursor(self, cursor: Cursor) -> Iterator[Item]:
+        """Items from the cursor's item (inclusive) to the end of the sequence."""
+        raise NotImplementedError
+
+    def iter_items(self) -> Iterator[Item]:
+        raise NotImplementedError
+
+    # -- mutation -------------------------------------------------------------
+    def insert_record_at_cursor(self, cursor: Cursor, record: CrdtRecord) -> None:
+        """Insert ``record`` at the gap identified by ``cursor``."""
+        raise NotImplementedError
+
+    def insert_record_before_item(self, target: Item | None, record: CrdtRecord) -> None:
+        """Insert ``record`` immediately before ``target`` (None = append)."""
+        raise NotImplementedError
+
+    def convert_placeholder_unit(
+        self, piece: PlaceholderPiece, offset: int, record: CrdtRecord
+    ) -> None:
+        """Replace one placeholder unit with ``record`` (splitting the piece)."""
+        raise NotImplementedError
+
+    def update_item_counts(self, item: Item, d_prepare: int, d_effect: int) -> None:
+        """Notify the backend that ``item``'s visibility counters changed."""
+        raise NotImplementedError
+
+    # -- statistics -----------------------------------------------------------
+    def total_units(self) -> int:
+        raise NotImplementedError
+
+    def prepare_length(self) -> int:
+        """Total prepare-visible units (document length in the prepare version)."""
+        raise NotImplementedError
+
+    def effect_length(self) -> int:
+        """Total effect-visible units (document length in the effect version)."""
+        raise NotImplementedError
+
+    def memory_items(self) -> int:
+        """Number of items currently held (used by the memory benchmarks)."""
+        raise NotImplementedError
+
+
+class ListSequence(SequenceBackend):
+    """Internal-state sequence stored in a flat Python list (O(n) operations)."""
+
+    def __init__(self, placeholder_length: int = 0) -> None:
+        self._items: list[Item] = []
+        self._carved: dict[int, CrdtRecord] = {}
+        self.clear(placeholder_length)
+
+    # -- construction / reset -------------------------------------------------
+    def clear(self, placeholder_length: int) -> None:
+        self._items = []
+        self._carved = {}
+        if placeholder_length > 0:
+            self._items.append(PlaceholderPiece(base=0, length=placeholder_length))
+
+    # -- lookups --------------------------------------------------------------
+    def find_insert_cursor(self, prepare_pos: int) -> Cursor:
+        remaining = prepare_pos
+        for item in self._items:
+            if remaining == 0:
+                return Cursor(item, 0)
+            visible = item.prepare_units
+            if visible >= remaining:
+                if isinstance(item, PlaceholderPiece):
+                    if visible == remaining:
+                        # The gap right after this piece: expressed as a
+                        # cursor before the *next* item so that a split is
+                        # avoided when possible.
+                        continue_from = remaining
+                        return self._cursor_after(item, continue_from)
+                    return Cursor(item, remaining)
+                # A record contributes at most one visible unit; the gap after
+                # it is before the next item.
+                return self._cursor_after(item, 1)
+            remaining -= visible
+        if remaining != 0:
+            raise IndexError(
+                f"insert position {prepare_pos} beyond prepare-visible length "
+                f"{self.prepare_length()}"
+            )
+        return Cursor(None)
+
+    def _cursor_after(self, item: Item, consumed_units: int) -> Cursor:
+        """Cursor at the gap after consuming ``consumed_units`` of ``item``."""
+        if isinstance(item, PlaceholderPiece) and consumed_units < item.length:
+            return Cursor(item, consumed_units)
+        idx = self._items.index(item)
+        if idx + 1 < len(self._items):
+            return Cursor(self._items[idx + 1], 0)
+        return Cursor(None)
+
+    def find_visible_unit(self, prepare_pos: int) -> tuple[Item, int]:
+        remaining = prepare_pos
+        for item in self._items:
+            visible = item.prepare_units
+            if visible > remaining:
+                return item, remaining if isinstance(item, PlaceholderPiece) else 0
+            remaining -= visible
+        raise IndexError(
+            f"delete position {prepare_pos} beyond prepare-visible length "
+            f"{self.prepare_length()}"
+        )
+
+    def origin_left_of_cursor(self, cursor: Cursor) -> OriginRef:
+        if cursor.item is not None and cursor.offset > 0:
+            piece = cursor.item
+            assert isinstance(piece, PlaceholderPiece)
+            return placeholder_origin(piece.base + cursor.offset - 1)
+        idx = len(self._items) if cursor.at_end else self._items.index(cursor.item)
+        if idx == 0:
+            return None
+        prev = self._items[idx - 1]
+        if isinstance(prev, PlaceholderPiece):
+            return placeholder_origin(prev.base + prev.length - 1)
+        return prev
+
+    def next_existing_in_prepare(self, cursor: Cursor) -> OriginRef:
+        if cursor.at_end:
+            return None
+        start = self._items.index(cursor.item)
+        for item in self._items[start:]:
+            if isinstance(item, PlaceholderPiece):
+                offset = cursor.offset if item is cursor.item else 0
+                return placeholder_origin(item.base + offset)
+            if item.exists_in_prepare:
+                return item
+        return None
+
+    def unit_position_of_ref(self, ref: OriginRef) -> int:
+        item, offset = self._resolve_ref(ref)
+        pos = 0
+        for other in self._items:
+            if other is item:
+                return pos + offset
+            pos += other.units
+        raise KeyError(f"reference {ref!r} not found in sequence")
+
+    def effect_position_of_item(self, item: Item, offset: int = 0) -> int:
+        pos = 0
+        for other in self._items:
+            if other is item:
+                return pos + offset
+            pos += other.effect_units
+        raise KeyError(f"item {item!r} not found in sequence")
+
+    def iter_items_from_cursor(self, cursor: Cursor) -> Iterator[Item]:
+        if cursor.at_end:
+            return iter(())
+        start = self._items.index(cursor.item)
+        return iter(self._items[start:])
+
+    def iter_items(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    # -- mutation -------------------------------------------------------------
+    def insert_record_at_cursor(self, cursor: Cursor, record: CrdtRecord) -> None:
+        if cursor.at_end:
+            self._items.append(record)
+            return
+        idx = self._items.index(cursor.item)
+        if cursor.offset > 0:
+            piece = cursor.item
+            assert isinstance(piece, PlaceholderPiece)
+            left, right = self._split_piece(piece, cursor.offset)
+            self._items[idx : idx + 1] = [left, record, right]
+            return
+        self._items.insert(idx, record)
+
+    def insert_record_before_item(self, target: Item | None, record: CrdtRecord) -> None:
+        if target is None:
+            self._items.append(record)
+            return
+        idx = self._items.index(target)
+        self._items.insert(idx, record)
+
+    def convert_placeholder_unit(
+        self, piece: PlaceholderPiece, offset: int, record: CrdtRecord
+    ) -> None:
+        idx = self._items.index(piece)
+        replacement: list[Item] = []
+        if offset > 0:
+            replacement.append(PlaceholderPiece(base=piece.base, length=offset))
+        replacement.append(record)
+        if offset + 1 < piece.length:
+            replacement.append(
+                PlaceholderPiece(base=piece.base + offset + 1, length=piece.length - offset - 1)
+            )
+        self._items[idx : idx + 1] = replacement
+        self._carved[piece.base + offset] = record
+
+    def update_item_counts(self, item: Item, d_prepare: int, d_effect: int) -> None:
+        # The list backend recomputes counts on demand, so nothing to do.
+        return None
+
+    # -- statistics -----------------------------------------------------------
+    def total_units(self) -> int:
+        return sum(item.units for item in self._items)
+
+    def prepare_length(self) -> int:
+        return sum(item.prepare_units for item in self._items)
+
+    def effect_length(self) -> int:
+        return sum(item.effect_units for item in self._items)
+
+    def memory_items(self) -> int:
+        return len(self._items)
+
+    # -- helpers --------------------------------------------------------------
+    def _split_piece(
+        self, piece: PlaceholderPiece, offset: int
+    ) -> tuple[PlaceholderPiece, PlaceholderPiece]:
+        """Split ``piece`` into two pieces at ``offset`` (both non-empty)."""
+        left = PlaceholderPiece(base=piece.base, length=offset)
+        right = PlaceholderPiece(base=piece.base + offset, length=piece.length - offset)
+        return left, right
+
+    def _resolve_ref(self, ref: OriginRef) -> tuple[Item, int]:
+        if isinstance(ref, CrdtRecord):
+            return ref, 0
+        if isinstance(ref, tuple) and len(ref) == 2 and ref[0] == "ph":
+            original_offset = ref[1]
+            carved = self._carved.get(original_offset)
+            if carved is not None:
+                return carved, 0
+            for item in self._items:
+                if isinstance(item, PlaceholderPiece):
+                    if item.base <= original_offset < item.base + item.length:
+                        return item, original_offset - item.base
+            raise KeyError(f"placeholder offset {original_offset} not found")
+        raise TypeError(f"cannot resolve origin reference {ref!r}")

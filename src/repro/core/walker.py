@@ -1,0 +1,288 @@
+"""The Event Graph Walker replay engine (paper §3).
+
+:class:`EgWalker` turns a (portion of an) event graph into a linear sequence
+of *transformed* index-based operations that can be applied, in order, to a
+document text.  It is the heart of the reproduction: the walker
+
+1. topologically sorts the events to replay, keeping branches contiguous
+   (§3.2),
+2. for each event, moves its *prepare version* to the event's parents by
+   retreating and advancing previously applied events (computed with the
+   priority-queue ``diff`` of §3.2),
+3. applies the event to the internal CRDT state, which yields the operation
+   transformed into the *effect version* (§3.3–3.4), and
+4. exploits critical versions (§3.5) to clear the internal state and to skip
+   the CRDT entirely for events in purely sequential regions, and placeholders
+   (§3.6) so that a merge only replays events after the last critical version.
+
+The walker never stores text: transformed insert operations carry their
+character, and the caller applies them to whatever document representation it
+uses (see :class:`repro.core.document.Document`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .causal_graph import CausalGraph
+from .critical_versions import critical_cut_positions
+from .event_graph import EventGraph, Version
+from .ids import Operation, OpKind, delete_op, insert_op
+from .internal_state import InternalState
+from .order_statistic_tree import TreeSequence
+from .sequence import ListSequence
+from .topo_sort import sort_branch_aware, sort_interleaved, sort_local_order
+
+__all__ = ["EgWalker", "ReplayResult", "TransformedOp", "WalkerStats"]
+
+
+@dataclass(slots=True)
+class TransformedOp:
+    """One entry of the rebased, linear operation history.
+
+    Attributes:
+        event_index: local index of the event this operation came from.
+        op: the operation transformed into the effect version — ready to be
+            applied to the document — or ``None`` if the event became a no-op
+            (its character had already been deleted by a concurrent event).
+    """
+
+    event_index: int
+    op: Operation | None
+
+
+@dataclass(slots=True)
+class WalkerStats:
+    """Counters describing the work a replay performed (used by benchmarks)."""
+
+    events_processed: int = 0
+    events_fast_path: int = 0
+    retreats: int = 0
+    advances: int = 0
+    state_clears: int = 0
+    peak_records: int = 0
+
+
+@dataclass(slots=True)
+class ReplayResult:
+    """The outcome of a replay: transformed operations plus bookkeeping."""
+
+    transformed: list[TransformedOp]
+    final_length: int
+    stats: WalkerStats = field(default_factory=WalkerStats)
+
+    def ops(self) -> list[Operation]:
+        """The non-noop transformed operations, in replay order."""
+        return [t.op for t in self.transformed if t.op is not None]
+
+
+_SORTERS: dict[str, Callable[[EventGraph, Iterable[int]], list[int]]] = {
+    "branch_aware": sort_branch_aware,
+    "local": sort_local_order,
+    "interleaved": sort_interleaved,
+}
+
+
+class EgWalker:
+    """Replays event graphs into transformed operations.
+
+    Args:
+        graph: the event graph to replay from.
+        backend: ``"tree"`` (default) uses the order-statistic B-tree of §3.4;
+            ``"list"`` uses a flat list with linear scans (the simple variant
+            used as a correctness oracle).
+        enable_clearing: enable the critical-version optimisations of §3.5
+            (state clearing plus the transform-free fast path).  Disabling
+            this reproduces the "opt disabled" series of Figure 9.
+        sort_strategy: ``"branch_aware"`` (default, the paper's heuristic),
+            ``"local"`` or ``"interleaved"`` (pathological; used by the
+            sort-order ablation).
+    """
+
+    def __init__(
+        self,
+        graph: EventGraph,
+        *,
+        backend: str = "tree",
+        enable_clearing: bool = True,
+        sort_strategy: str = "branch_aware",
+    ) -> None:
+        if backend not in ("tree", "list"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if sort_strategy not in _SORTERS:
+            raise ValueError(f"unknown sort strategy {sort_strategy!r}")
+        self.graph = graph
+        self.causal = CausalGraph(graph)
+        self.backend = backend
+        self.enable_clearing = enable_clearing
+        self.sort_strategy = sort_strategy
+        self.last_stats: WalkerStats | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def transform(
+        self,
+        events: Iterable[int] | None = None,
+        *,
+        base_version: Version = (),
+        base_doc_length: int = 0,
+        order: Sequence[int] | None = None,
+        emit_only: set[int] | None = None,
+    ) -> ReplayResult:
+        """Replay ``events`` and return the transformed operation sequence.
+
+        Args:
+            events: local indices of the events to replay.  ``None`` replays
+                the whole graph.  The set must be closed under concurrency
+                relative to ``base_version``: every replayed event's parents
+                must either be replayed too or be ancestors of
+                ``base_version``.
+            base_version: the version the replay starts from.  The empty
+                version replays from the beginning of history.
+            base_doc_length: length (or a safe upper bound on the length) of
+                the document at ``base_version``; used to size the initial
+                placeholder (§3.6).
+            order: explicit replay order.  When omitted the configured
+                topological sort is used.
+            emit_only: if given, transformed operations are only collected for
+                these events (the rest are replayed silently, as in the merge
+                procedure of §3.6).
+
+        Returns:
+            A :class:`ReplayResult` with one :class:`TransformedOp` per
+            emitted event, in replay order.
+        """
+        graph = self.graph
+        if events is None:
+            event_list: list[int] = list(range(len(graph)))
+        else:
+            event_list = sorted(events)
+        if order is None:
+            order = _SORTERS[self.sort_strategy](graph, event_list)
+        else:
+            order = list(order)
+
+        stats = WalkerStats()
+        state = InternalState(self._make_backend(base_doc_length))
+        cuts: set[int] = set()
+        if self.enable_clearing:
+            cuts = critical_cut_positions(graph, order)
+
+        transformed: list[TransformedOp] = []
+        prepare_version: Version = base_version
+        doc_length = base_doc_length
+        state_base_length = base_doc_length
+        needs_reset = False
+
+        for pos, idx in enumerate(order):
+            event = graph[idx]
+            op = event.op
+            stats.events_processed += 1
+            parent_critical = self.enable_clearing and (pos == 0 or (pos - 1) in cuts)
+            own_critical = self.enable_clearing and pos in cuts
+
+            if parent_critical and own_critical:
+                # Fast path (§3.5): both the event's parents and the event
+                # itself are critical versions, so the transformed operation
+                # is identical to the original and the CRDT state is not
+                # needed at all.
+                stats.events_fast_path += 1
+                if emit_only is None or idx in emit_only:
+                    transformed.append(TransformedOp(idx, op))
+                doc_length += 1 if op.is_insert else -1
+                prepare_version = (idx,)
+                needs_reset = True
+                continue
+
+            if parent_critical:
+                # We crossed a critical version: throw the internal state away
+                # and restart from a placeholder representing the current
+                # document (§3.5 / §3.6).
+                state.clear(doc_length)
+                stats.state_clears += 1
+                state_base_length = doc_length
+                prepare_version = (order[pos - 1],) if pos > 0 else base_version
+                needs_reset = False
+            elif needs_reset:
+                # The state became stale during a run of fast-path events.
+                state.clear(doc_length)
+                stats.state_clears += 1
+                state_base_length = doc_length
+                needs_reset = False
+
+            # Move the prepare version to the event's parents.
+            target_version = event.parents
+            if prepare_version != target_version:
+                only_prepare, only_target = self.causal.diff(prepare_version, target_version)
+                for other in reversed(only_prepare):
+                    state.retreat(graph.id_of(other), graph[other].op.is_insert)
+                    stats.retreats += 1
+                for other in only_target:
+                    state.advance(graph.id_of(other), graph[other].op.is_insert)
+                    stats.advances += 1
+
+            # Apply the event.
+            if op.is_insert:
+                effect_pos = state.apply_insert(event.id, op.pos)
+                out: Operation | None = insert_op(effect_pos, op.content)
+                doc_length += 1
+            else:
+                effect_pos = state.apply_delete(event.id, op.pos)
+                if effect_pos is None:
+                    out = None
+                else:
+                    out = delete_op(effect_pos)
+                    doc_length -= 1
+            if emit_only is None or idx in emit_only:
+                transformed.append(TransformedOp(idx, out))
+            prepare_version = (idx,)
+            records = state.record_count()
+            if records > stats.peak_records:
+                stats.peak_records = records
+
+        self.last_stats = stats
+        return ReplayResult(transformed=transformed, final_length=doc_length, stats=stats)
+
+    def replay_text(
+        self,
+        events: Iterable[int] | None = None,
+        *,
+        base_text: str = "",
+        base_version: Version = (),
+    ) -> str:
+        """Replay events and return the resulting document text.
+
+        Convenience wrapper used by tests, examples and the benchmark
+        harness: transformed operations are applied to a simple character
+        buffer.  ``base_text`` is the document at ``base_version``.
+        """
+        result = self.transform(
+            events, base_version=base_version, base_doc_length=len(base_text)
+        )
+        buffer = list(base_text)
+        for entry in result.transformed:
+            op = entry.op
+            if op is None:
+                continue
+            if op.is_insert:
+                buffer[op.pos : op.pos] = op.content
+            else:
+                del buffer[op.pos : op.pos + op.length]
+        return "".join(buffer)
+
+    def text_at_version(self, version: Version) -> str:
+        """Reconstruct the document at an arbitrary historical version.
+
+        Replays exactly the events that happened at or before ``version``
+        (§2.3: the document at a version is ``replay(Events(V))``).
+        """
+        subset = self.causal.ancestors(version)
+        return self.replay_text(subset)
+
+    # ------------------------------------------------------------------
+    def _make_backend(self, placeholder_length: int):
+        if self.backend == "tree":
+            return TreeSequence(placeholder_length)
+        return ListSequence(placeholder_length)

@@ -1,0 +1,19 @@
+"""CRDT substrates and baselines: the list CRDT, converter, and persistent CRDT documents."""
+
+from .automerge_like import AutomergeLikeDocument
+from .converter import event_graph_to_crdt_ops
+from .list_crdt import CrdtDeleteOp, CrdtInsertOp, CrdtItem, CrdtOp, SimpleListCRDT
+from .ref_crdt import RefCRDTDocument
+from .yjs_like import YjsLikeDocument
+
+__all__ = [
+    "AutomergeLikeDocument",
+    "CrdtDeleteOp",
+    "CrdtInsertOp",
+    "CrdtItem",
+    "CrdtOp",
+    "RefCRDTDocument",
+    "SimpleListCRDT",
+    "YjsLikeDocument",
+    "event_graph_to_crdt_ops",
+]

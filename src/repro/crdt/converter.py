@@ -1,0 +1,82 @@
+"""Convert index-based event graphs into ID-based CRDT operations.
+
+Traditional CRDT libraries consume operations that reference character ids
+rather than indexes.  To benchmark them against an index-based editing trace
+(and to cross-check Eg-walker against an independent CRDT implementation), the
+trace must first be converted, which is what the paper's ``crdt-converter``
+tool does by simulating a set of collaborating peers (Appendix A.5).
+
+:func:`event_graph_to_crdt_ops` performs that conversion: it replays the event
+graph once (full replay, no state clearing) and records, for every insertion,
+the origin ids the internal state assigned to it, and for every deletion the
+id of the character it removed.  The resulting operation list can be fed to
+:class:`repro.crdt.SimpleListCRDT` replicas — in any causal order — and to the
+Automerge-like / Yjs-like baselines.
+
+The conversion itself is not part of any timed benchmark (the paper likewise
+performs it offline in experiment E1).
+"""
+
+from __future__ import annotations
+
+from ..core.causal_graph import CausalGraph
+from ..core.event_graph import EventGraph
+from ..core.internal_state import InternalState
+from ..core.order_statistic_tree import TreeSequence
+from ..core.records import CrdtRecord
+from ..core.topo_sort import sort_branch_aware
+from .list_crdt import CrdtDeleteOp, CrdtInsertOp, CrdtOp
+
+__all__ = ["event_graph_to_crdt_ops"]
+
+
+def _origin_id(ref) -> object:
+    """Map an internal-state origin reference to an event id (or None)."""
+    if ref is None:
+        return None
+    if isinstance(ref, CrdtRecord):
+        return ref.id
+    raise TypeError(
+        "unexpected placeholder origin during conversion; the converter always "
+        "replays the full graph so placeholders cannot occur"
+    )
+
+
+def event_graph_to_crdt_ops(graph: EventGraph) -> list[CrdtOp]:
+    """Convert every event of ``graph`` into an ID-based CRDT operation.
+
+    The returned list is in a topologically sorted order, so applying it
+    sequentially to a single replica is always possible; causal-order
+    permutations of it are exercised by the tests.
+    """
+    causal = CausalGraph(graph)
+    state = InternalState(TreeSequence(0))
+    order = sort_branch_aware(graph, range(len(graph)))
+
+    ops: list[CrdtOp] = []
+    prepare_version: tuple[int, ...] = ()
+    for idx in order:
+        event = graph[idx]
+        if prepare_version != event.parents:
+            only_prepare, only_target = causal.diff(prepare_version, event.parents)
+            for other in reversed(only_prepare):
+                state.retreat(graph.id_of(other), graph[other].op.is_insert)
+            for other in only_target:
+                state.advance(graph.id_of(other), graph[other].op.is_insert)
+        if event.op.is_insert:
+            state.apply_insert(event.id, event.op.pos)
+            record = state.id_map[event.id]
+            ops.append(
+                CrdtInsertOp(
+                    id=event.id,
+                    origin_left=_origin_id(record.origin_left),
+                    origin_right=_origin_id(record.origin_right),
+                    content=event.op.content,
+                )
+            )
+        else:
+            state.apply_delete(event.id, event.op.pos)
+            target = state.id_map[event.id]
+            ops.append(CrdtDeleteOp(id=event.id, target=target.id))
+        prepare_version = (idx,)
+    return ops

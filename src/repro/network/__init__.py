@@ -1,0 +1,14 @@
+"""Replication substrate: causal broadcast over a simulated network."""
+
+from .causal_broadcast import CausalBuffer, DeliveryStats
+from .simulator import Message, NetworkSimulator, SimulatedReplica, full_mesh, star
+
+__all__ = [
+    "CausalBuffer",
+    "DeliveryStats",
+    "Message",
+    "NetworkSimulator",
+    "SimulatedReplica",
+    "full_mesh",
+    "star",
+]

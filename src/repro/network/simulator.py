@@ -1,0 +1,268 @@
+"""A discrete-event network simulator for collaborative editing sessions.
+
+The paper's system model (§2.1) only assumes a reliable broadcast protocol —
+messages may be delayed arbitrarily, replicas may work offline, and the
+network may be a central relay or peer-to-peer gossip.  This module simulates
+those conditions so that the examples, the trace generators and the
+integration tests can exercise realistic concurrency patterns:
+
+* :class:`NetworkSimulator` keeps a virtual clock and a priority queue of
+  in-flight messages; per-link latency and partitions control which messages
+  are delivered when.
+* :class:`SimulatedReplica` wires a :class:`~repro.core.document.Document`
+  into the network through a :class:`~repro.network.causal_broadcast.CausalBuffer`.
+* Topologies: :func:`full_mesh` (peer-to-peer gossip to every peer) and
+  :func:`star` (a relay server that forwards events, like a typical
+  centralised deployment).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.document import Document
+from ..core.oplog import RemoteEvent
+
+__all__ = ["Message", "SimulatedReplica", "NetworkSimulator", "full_mesh", "star"]
+
+
+@dataclass(order=True)
+class Message:
+    """One event in flight from ``sender`` to ``recipient``."""
+
+    deliver_at: float
+    sequence: int
+    sender: str = field(compare=False)
+    recipient: str = field(compare=False)
+    event: RemoteEvent = field(compare=False)
+
+
+class SimulatedReplica:
+    """A replica participating in a simulated editing session."""
+
+    def __init__(self, name: str, simulator: "NetworkSimulator") -> None:
+        self.name = name
+        self.simulator = simulator
+        self.document = Document(name)
+        self.buffer = CausalBufferAdapter(self)
+        self.online = True
+        self.forward = False
+        self.received_events = 0
+
+    # -- local editing --------------------------------------------------
+    def insert(self, pos: int, content: str) -> None:
+        before = len(self.document.oplog.graph)
+        self.document.insert(pos, content)
+        self._broadcast_since(before)
+
+    def delete(self, pos: int, length: int = 1) -> None:
+        before = len(self.document.oplog.graph)
+        self.document.delete(pos, length)
+        self._broadcast_since(before)
+
+    @property
+    def text(self) -> str:
+        return self.document.text
+
+    # -- network --------------------------------------------------------
+    def set_online(self, online: bool) -> None:
+        """Going offline queues outgoing events; coming back online flushes them."""
+        was_offline = not self.online
+        self.online = online
+        if online and was_offline:
+            self.simulator.flush_offline_queue(self.name)
+            self.simulator.release_held_messages(self.name)
+
+    def _broadcast_since(self, first_index: int) -> None:
+        events = self.document.oplog.export_events(
+            range(first_index, len(self.document.oplog.graph))
+        )
+        self.buffer.mark_local(events)
+        self.simulator.broadcast(self.name, events)
+
+    def deliver(self, event: RemoteEvent) -> None:
+        self.buffer.receive(event)
+
+
+class CausalBufferAdapter:
+    """Glue between the network, the causal buffer and the document."""
+
+    def __init__(self, replica: SimulatedReplica) -> None:
+        from .causal_broadcast import CausalBuffer
+
+        self.replica = replica
+        self.buffer = CausalBuffer(self._apply)
+        self._batch: list[RemoteEvent] = []
+
+    def mark_local(self, events: Iterable[RemoteEvent]) -> None:
+        self.buffer.mark_known(e.id for e in events)
+
+    def receive(self, event: RemoteEvent) -> None:
+        self.buffer.receive(event)
+
+    def _apply(self, event: RemoteEvent) -> None:
+        self.replica.document.apply_remote_events([event])
+        self.replica.received_events += 1
+
+    @property
+    def pending(self) -> int:
+        return self.buffer.pending_count
+
+
+class NetworkSimulator:
+    """Virtual-time message delivery between replicas."""
+
+    def __init__(self, default_latency: float = 0.05) -> None:
+        self.default_latency = default_latency
+        self.replicas: dict[str, SimulatedReplica] = {}
+        self.links: dict[tuple[str, str], float] = {}
+        self.partitioned: set[tuple[str, str]] = set()
+        self.now = 0.0
+        self._queue: list[Message] = []
+        self._offline_queues: dict[str, list[RemoteEvent]] = {}
+        self._held_for_offline: dict[str, list[Message]] = {}
+        self._sequence = itertools.count()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    # -- topology --------------------------------------------------------
+    def add_replica(self, name: str) -> SimulatedReplica:
+        if name in self.replicas:
+            raise ValueError(f"duplicate replica name {name!r}")
+        replica = SimulatedReplica(name, self)
+        self.replicas[name] = replica
+        self._offline_queues[name] = []
+        self._held_for_offline[name] = []
+        return replica
+
+    def connect(self, a: str, b: str, latency: float | None = None) -> None:
+        lat = self.default_latency if latency is None else latency
+        self.links[(a, b)] = lat
+        self.links[(b, a)] = lat
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between two replicas (messages are dropped and resent on heal)."""
+        self.partitioned.add((a, b))
+        self.partitioned.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        self.partitioned.discard((a, b))
+        self.partitioned.discard((b, a))
+        # Reliable broadcast: resend everything the other side might have missed.
+        for x, y in ((a, b), (b, a)):
+            sender = self.replicas[x]
+            recipient = self.replicas[y]
+            missing = sender.document.events_since(recipient.document.remote_version())
+            for event in missing:
+                self._enqueue(x, y, event)
+
+    # -- message flow -----------------------------------------------------
+    def broadcast(self, sender: str, events: Iterable[RemoteEvent]) -> None:
+        sender_replica = self.replicas[sender]
+        for event in events:
+            self.messages_sent += 1
+            if not sender_replica.online:
+                self._offline_queues[sender].append(event)
+                continue
+            for (a, b), _ in list(self.links.items()):
+                if a != sender:
+                    continue
+                self._enqueue(a, b, event)
+
+    def flush_offline_queue(self, sender: str) -> None:
+        queued = self._offline_queues[sender]
+        self._offline_queues[sender] = []
+        self.broadcast(sender, queued)
+
+    def release_held_messages(self, recipient: str) -> None:
+        """Re-deliver messages that arrived while ``recipient`` was offline."""
+        held = self._held_for_offline[recipient]
+        self._held_for_offline[recipient] = []
+        for message in held:
+            self._enqueue(message.sender, message.recipient, message.event)
+
+    def _enqueue(self, sender: str, recipient: str, event: RemoteEvent) -> None:
+        if (sender, recipient) in self.partitioned:
+            return
+        latency = self.links.get((sender, recipient), self.default_latency)
+        heapq.heappush(
+            self._queue,
+            Message(
+                deliver_at=self.now + latency,
+                sequence=next(self._sequence),
+                sender=sender,
+                recipient=recipient,
+                event=event,
+            ),
+        )
+
+    # -- time -------------------------------------------------------------
+    def advance(self, duration: float) -> int:
+        """Advance virtual time, delivering every message that comes due."""
+        deadline = self.now + duration
+        delivered = 0
+        while self._queue and self._queue[0].deliver_at <= deadline:
+            message = heapq.heappop(self._queue)
+            self.now = message.deliver_at
+            recipient = self.replicas[message.recipient]
+            if not recipient.online:
+                # Reliable delivery: hold the message until the recipient is back.
+                self._held_for_offline[message.recipient].append(message)
+                continue
+            recipient.deliver(message.event)
+            self.messages_delivered += 1
+            delivered += 1
+            if recipient.forward:
+                # Store-and-forward relay: pass the event on to every other
+                # peer this node is connected to.
+                for (a, b) in list(self.links.keys()):
+                    if a == message.recipient and b != message.sender:
+                        self._enqueue(a, b, message.event)
+        self.now = deadline
+        return delivered
+
+    def run_until_quiescent(self, max_rounds: int = 10_000) -> None:
+        """Keep advancing time until no messages remain in flight."""
+        rounds = 0
+        while self._queue:
+            self.advance(self.default_latency * 2)
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("network failed to quiesce (partition still active?)")
+
+    def all_texts(self) -> dict[str, str]:
+        return {name: replica.text for name, replica in self.replicas.items()}
+
+    def converged(self) -> bool:
+        texts = set(self.all_texts().values())
+        return len(texts) <= 1
+
+
+def full_mesh(names: Iterable[str], latency: float = 0.05) -> NetworkSimulator:
+    """A peer-to-peer topology: every replica talks to every other replica."""
+    simulator = NetworkSimulator(default_latency=latency)
+    names = list(names)
+    for name in names:
+        simulator.add_replica(name)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            simulator.connect(a, b, latency)
+    return simulator
+
+
+def star(hub: str, leaves: Iterable[str], latency: float = 0.05) -> NetworkSimulator:
+    """A relay-server topology: all traffic flows through ``hub``.
+
+    The hub is itself a replica (a store-and-forward server holding the event
+    graph); leaves only exchange events with the hub, which re-broadcasts them.
+    """
+    simulator = NetworkSimulator(default_latency=latency)
+    hub_replica = simulator.add_replica(hub)
+    hub_replica.forward = True
+    for leaf in leaves:
+        simulator.add_replica(leaf)
+        simulator.connect(hub, leaf, latency)
+    return simulator

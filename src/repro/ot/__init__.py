@@ -1,0 +1,13 @@
+"""Operational transformation baseline (TTF-style IT functions + replay)."""
+
+from .ot_replica import OTDocument, OtReplayResult, replay_ot
+from .transform import OtOp, transform, transform_against_many
+
+__all__ = [
+    "OTDocument",
+    "OtOp",
+    "OtReplayResult",
+    "replay_ot",
+    "transform",
+    "transform_against_many",
+]

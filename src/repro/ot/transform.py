@@ -1,0 +1,83 @@
+"""Operational-transformation functions for character operations.
+
+These are the classic inclusion-transformation (IT) functions for index-based
+insert/delete operations (Ellis & Gibbs 1989 lineage, as used by Jupiter and
+the TTF control algorithms the paper benchmarks against).  ``transform(a, b)``
+rewrites operation ``a`` — defined against some document state — so that it
+applies to the document *after* ``b`` (defined against the same state) has
+been applied.
+
+Ties between two insertions at the same index are broken by the originating
+agent id, so that transforming in either order yields the same final document
+(the TP1 property, verified by the property-based tests).  Like all classic
+index-based IT function sets, these functions do not satisfy TP2; the control
+algorithm in :mod:`repro.ot.ot_replica` therefore fixes a deterministic global
+transformation order, which is sufficient for convergence in the replay
+setting used here (and is what production OT systems do as well).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ids import Operation, OpKind, delete_op, insert_op
+
+__all__ = ["OtOp", "transform", "transform_against_many"]
+
+
+@dataclass(frozen=True, slots=True)
+class OtOp:
+    """An OT operation: an index-based op plus the agent that generated it.
+
+    ``op`` may be ``None`` when a deletion has been cancelled out by a
+    concurrent deletion of the same character (it became a no-op).
+    """
+
+    op: Operation | None
+    agent: str
+
+    @property
+    def is_noop(self) -> bool:
+        return self.op is None
+
+
+def transform(a: OtOp, b: OtOp) -> OtOp:
+    """Transform ``a`` to include the effect of concurrent operation ``b``."""
+    if a.is_noop or b.is_noop:
+        return a
+    op_a, op_b = a.op, b.op
+    assert op_a is not None and op_b is not None
+    if op_a.kind is OpKind.INSERT and op_b.kind is OpKind.INSERT:
+        if op_a.pos < op_b.pos:
+            return a
+        if op_a.pos > op_b.pos:
+            return OtOp(insert_op(op_a.pos + op_b.length, op_a.content), a.agent)
+        # Tie: deterministic order by agent id keeps transformation symmetric.
+        if a.agent < b.agent:
+            return a
+        return OtOp(insert_op(op_a.pos + op_b.length, op_a.content), a.agent)
+    if op_a.kind is OpKind.INSERT and op_b.kind is OpKind.DELETE:
+        if op_a.pos <= op_b.pos:
+            return a
+        return OtOp(insert_op(op_a.pos - op_b.length, op_a.content), a.agent)
+    if op_a.kind is OpKind.DELETE and op_b.kind is OpKind.INSERT:
+        if op_a.pos < op_b.pos:
+            return a
+        return OtOp(delete_op(op_a.pos + op_b.length), a.agent)
+    # delete / delete
+    if op_a.pos < op_b.pos:
+        return a
+    if op_a.pos > op_b.pos:
+        return OtOp(delete_op(op_a.pos - op_b.length), a.agent)
+    # Both deleted the same character: a becomes a no-op.
+    return OtOp(None, a.agent)
+
+
+def transform_against_many(a: OtOp, others: list[OtOp]) -> OtOp:
+    """Transform ``a`` against a sequence of operations, in order."""
+    for other in others:
+        a = transform(a, other)
+        if a.is_noop:
+            # A no-op stays a no-op regardless of further transformations.
+            break
+    return a

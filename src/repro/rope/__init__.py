@@ -1,0 +1,5 @@
+"""Text-buffer substrate: rope and gap buffer document representations."""
+
+from .rope import GapBuffer, Rope
+
+__all__ = ["Rope", "GapBuffer"]

@@ -1,0 +1,31 @@
+"""Persistent storage: columnar event-graph files, snapshots, compression."""
+
+from .compression import compress, decompress
+from .encoder import DecodedFile, EncodeOptions, decode_event_graph, encode_event_graph
+from .snapshot import Snapshot, decode_snapshot, encode_snapshot
+from .varint import (
+    ByteReader,
+    ByteWriter,
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+)
+
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "DecodedFile",
+    "EncodeOptions",
+    "Snapshot",
+    "compress",
+    "decompress",
+    "decode_event_graph",
+    "decode_snapshot",
+    "decode_svarint",
+    "decode_uvarint",
+    "encode_event_graph",
+    "encode_snapshot",
+    "encode_svarint",
+    "encode_uvarint",
+]

@@ -1,0 +1,368 @@
+"""Columnar event-graph file format (paper §3.8).
+
+The event graph is stored in column-oriented form, exploiting how people type:
+runs of consecutive insertions or deletions compress to a few bytes, parents
+are implicit for the (overwhelmingly common) case of a linear history, and
+event ids compress to runs of ``(agent, first_seq, count)``.
+
+Columns (each length-prefixed in the file, after a small header):
+
+``ops``
+    Runs of ``(kind, start_position, run_length)``.  A run covers consecutive
+    events by the same pattern: insertions at consecutive indexes
+    (``pos, pos+1, ...``), forward deletions at a constant index, or backspace
+    deletions at decreasing indexes.
+``content``
+    The UTF-8 concatenation of all inserted characters, in event order
+    (optionally LZ-compressed, and optionally restricted to characters that
+    were never deleted — the "pruned" mode of Figure 12).
+``parents``
+    Exceptions to the default "parent = previous event" rule, as
+    ``(event_index, parent_count, parent_back_references...)``.
+``agents`` / ``ids``
+    The agent name table and runs of event ids.
+``snapshot`` (optional)
+    A cached copy of the final document text so documents can be loaded
+    without replaying the graph (§3.8, "Replicas can optionally also store a
+    copy of the final document state").
+
+The decoder reconstructs an :class:`~repro.core.event_graph.EventGraph` (full
+mode) or the graph structure with deleted characters blanked out (pruned
+mode), and the cached snapshot when present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.event_graph import EventGraph
+from ..core.ids import EventId, OpKind, delete_op, insert_op
+from . import compression
+from .varint import ByteReader, ByteWriter
+
+__all__ = ["EncodeOptions", "DecodedFile", "encode_event_graph", "decode_event_graph"]
+
+_MAGIC = b"EGWK"
+_FORMAT_VERSION = 1
+
+_FLAG_COMPRESS_CONTENT = 1
+_FLAG_PRUNED = 2
+_FLAG_SNAPSHOT = 4
+
+#: Character substituted for deleted characters when decoding a pruned file.
+PRUNED_CHAR = "\x00"
+
+
+@dataclass(frozen=True, slots=True)
+class EncodeOptions:
+    """Options controlling the on-disk representation.
+
+    Attributes:
+        compress_content: LZ-compress the inserted-text column (the paper's
+            LZ4 option; disabled by default to mirror the like-for-like file
+            size comparison of §4.5).
+        prune_deleted_content: omit the text of characters that were deleted
+            (what Yjs does); the graph structure is kept, so merging still
+            works, but old versions can no longer be reconstructed verbatim.
+        include_snapshot: store the final document text so loading does not
+            require a replay.
+        final_text: the final document text (required when
+            ``include_snapshot`` is set, and used to decide which characters
+            survive in pruned mode when provided).
+    """
+
+    compress_content: bool = False
+    prune_deleted_content: bool = False
+    include_snapshot: bool = False
+    final_text: str | None = None
+
+
+@dataclass(slots=True)
+class DecodedFile:
+    """Result of :func:`decode_event_graph`."""
+
+    graph: EventGraph
+    snapshot: str | None
+    pruned: bool
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode_event_graph(graph: EventGraph, options: EncodeOptions | None = None) -> bytes:
+    """Serialise ``graph`` into the columnar format described above."""
+    options = options or EncodeOptions()
+    if options.include_snapshot and options.final_text is None:
+        raise ValueError("include_snapshot requires final_text")
+
+    ops_col = _encode_ops_column(graph)
+    content_col = _encode_content_column(graph, options)
+    parents_col = _encode_parents_column(graph)
+    ids_col = _encode_ids_column(graph)
+    snapshot_col = b""
+    if options.include_snapshot:
+        snapshot_col = (options.final_text or "").encode("utf-8")
+
+    flags = 0
+    if options.compress_content:
+        flags |= _FLAG_COMPRESS_CONTENT
+    if options.prune_deleted_content:
+        flags |= _FLAG_PRUNED
+    if options.include_snapshot:
+        flags |= _FLAG_SNAPSHOT
+
+    writer = ByteWriter()
+    writer.write_bytes(_MAGIC)
+    writer.write_uvarint(_FORMAT_VERSION)
+    writer.write_uvarint(flags)
+    writer.write_uvarint(len(graph))
+    for column in (ops_col, content_col, parents_col, ids_col, snapshot_col):
+        writer.write_length_prefixed(column)
+    return writer.getvalue()
+
+
+def _encode_ops_column(graph: EventGraph) -> bytes:
+    writer = ByteWriter()
+    events = graph.events()
+    i = 0
+    n = len(events)
+    while i < n:
+        first = events[i].op
+        kind = first.kind
+        start_pos = first.pos
+        run_len = 1
+        direction = 0  # 0: constant (delete-forward), +1: ascending, -1: descending
+        j = i + 1
+        while j < n:
+            op = events[j].op
+            if op.kind != kind:
+                break
+            expected_parent = (events[j].parents == (j - 1,))
+            if not expected_parent:
+                break
+            prev = events[j - 1].op
+            if kind is OpKind.INSERT:
+                if op.pos != prev.pos + 1:
+                    break
+                step = 1
+            else:
+                if op.pos == prev.pos:
+                    step = 0
+                elif op.pos == prev.pos - 1:
+                    step = -1
+                else:
+                    break
+                if run_len == 1:
+                    direction = step
+                elif step != direction:
+                    break
+            run_len += 1
+            j += 1
+        header = int(kind) | ((direction & 0x3) << 1)
+        writer.write_uvarint(header)
+        writer.write_svarint(start_pos)
+        writer.write_uvarint(run_len)
+        i = j
+    return writer.getvalue()
+
+
+def _encode_content_column(graph: EventGraph, options: EncodeOptions) -> bytes:
+    survived: set[int] | None = None
+    if options.prune_deleted_content:
+        survived = _surviving_insertions(graph)
+    parts: list[str] = []
+    for event in graph.events():
+        if not event.op.is_insert:
+            continue
+        if survived is not None and event.index not in survived:
+            continue
+        parts.append(event.op.content)
+    raw = "".join(parts).encode("utf-8")
+    if options.compress_content:
+        raw = compression.compress(raw)
+    return raw
+
+
+def _surviving_insertions(graph: EventGraph) -> set[int]:
+    """Indices of insertion events whose character is never deleted.
+
+    A character inserted by event ``i`` is deleted if any delete event
+    targets it; we find targets by replaying the graph once with the walker's
+    conversion machinery (cheap relative to encoding, and exact).
+    """
+    from ..crdt.converter import event_graph_to_crdt_ops
+    from ..crdt.list_crdt import CrdtDeleteOp
+
+    deleted_ids = set()
+    for op in event_graph_to_crdt_ops(graph):
+        if isinstance(op, CrdtDeleteOp):
+            deleted_ids.add(op.target)
+    survived = set()
+    for event in graph.events():
+        if event.op.is_insert and event.id not in deleted_ids:
+            survived.add(event.index)
+    return survived
+
+
+def _encode_parents_column(graph: EventGraph) -> bytes:
+    writer = ByteWriter()
+    exceptions: list[tuple[int, tuple[int, ...]]] = []
+    for event in graph.events():
+        default = (event.index - 1,) if event.index > 0 else ()
+        if event.parents != default:
+            exceptions.append((event.index, event.parents))
+    writer.write_uvarint(len(exceptions))
+    prev_index = 0
+    for index, parents in exceptions:
+        writer.write_uvarint(index - prev_index)
+        prev_index = index
+        writer.write_uvarint(len(parents))
+        for parent in parents:
+            # Parents are encoded as back-references (always smaller than the
+            # event's own index), which keeps the numbers tiny for short-lived
+            # branches.
+            writer.write_uvarint(index - parent)
+    return writer.getvalue()
+
+
+def _encode_ids_column(graph: EventGraph) -> bytes:
+    writer = ByteWriter()
+    runs: list[tuple[str, int, int]] = []
+    for event in graph.events():
+        agent, seq = event.id
+        if runs and runs[-1][0] == agent and runs[-1][1] + runs[-1][2] == seq:
+            runs[-1] = (agent, runs[-1][1], runs[-1][2] + 1)
+        else:
+            runs.append((agent, seq, 1))
+    agents: list[str] = []
+    agent_index: dict[str, int] = {}
+    for agent, _, _ in runs:
+        if agent not in agent_index:
+            agent_index[agent] = len(agents)
+            agents.append(agent)
+    writer.write_uvarint(len(agents))
+    for agent in agents:
+        writer.write_string(agent)
+    writer.write_uvarint(len(runs))
+    for agent, start_seq, count in runs:
+        writer.write_uvarint(agent_index[agent])
+        writer.write_uvarint(start_seq)
+        writer.write_uvarint(count)
+    return writer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def decode_event_graph(data: bytes) -> DecodedFile:
+    """Parse a file produced by :func:`encode_event_graph`."""
+    reader = ByteReader(data)
+    if reader.read_bytes(4) != _MAGIC:
+        raise ValueError("not an Eg-walker event graph file")
+    version = reader.read_uvarint()
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {version}")
+    flags = reader.read_uvarint()
+    num_events = reader.read_uvarint()
+    ops_col = reader.read_length_prefixed()
+    content_col = reader.read_length_prefixed()
+    parents_col = reader.read_length_prefixed()
+    ids_col = reader.read_length_prefixed()
+    snapshot_col = reader.read_length_prefixed()
+
+    pruned = bool(flags & _FLAG_PRUNED)
+    if flags & _FLAG_COMPRESS_CONTENT:
+        content_col = compression.decompress(content_col)
+    content = content_col.decode("utf-8")
+
+    ops = _decode_ops_column(ops_col, num_events)
+    parents = _decode_parents_column(parents_col, num_events)
+    ids = _decode_ids_column(ids_col, num_events)
+
+    graph = EventGraph()
+    content_iter = iter(content)
+    survived_check_needed = pruned
+    for index in range(num_events):
+        kind, pos = ops[index]
+        if kind is OpKind.INSERT:
+            if survived_check_needed:
+                # In pruned mode we cannot know which characters were deleted
+                # without replaying, so deleted characters decode as the
+                # sentinel and surviving ones are filled in afterwards.
+                char = PRUNED_CHAR
+            else:
+                char = next(content_iter)
+            op = insert_op(pos, char)
+        else:
+            op = delete_op(pos)
+        graph.add_event(ids[index], parents[index], op, parents_are_indices=True)
+
+    if pruned:
+        _fill_pruned_content(graph, content)
+
+    snapshot = snapshot_col.decode("utf-8") if flags & _FLAG_SNAPSHOT else None
+    return DecodedFile(graph=graph, snapshot=snapshot, pruned=pruned)
+
+
+def _fill_pruned_content(graph: EventGraph, surviving_content: str) -> None:
+    """Assign surviving characters to the insertions that were never deleted."""
+    survived = _surviving_insertions(graph)
+    content_iter = iter(surviving_content)
+    for event in graph.events():
+        if event.op.is_insert and event.index in survived:
+            char = next(content_iter, PRUNED_CHAR)
+            object.__setattr__(event.op, "content", char)
+
+
+def _decode_ops_column(data: bytes, num_events: int) -> list[tuple[OpKind, int]]:
+    reader = ByteReader(data)
+    ops: list[tuple[OpKind, int]] = []
+    while len(ops) < num_events:
+        header = reader.read_uvarint()
+        kind = OpKind(header & 0x1)
+        direction_bits = (header >> 1) & 0x3
+        direction = -1 if direction_bits == 0x3 else direction_bits
+        start_pos = reader.read_svarint()
+        run_len = reader.read_uvarint()
+        pos = start_pos
+        for k in range(run_len):
+            ops.append((kind, pos))
+            if kind is OpKind.INSERT:
+                pos += 1
+            else:
+                pos += direction
+    if len(ops) != num_events:
+        raise ValueError("ops column does not match event count")
+    return ops
+
+
+def _decode_parents_column(data: bytes, num_events: int) -> list[tuple[int, ...]]:
+    reader = ByteReader(data)
+    parents: list[tuple[int, ...]] = [
+        (index - 1,) if index > 0 else () for index in range(num_events)
+    ]
+    exception_count = reader.read_uvarint()
+    index = 0
+    for _ in range(exception_count):
+        index += reader.read_uvarint()
+        count = reader.read_uvarint()
+        refs = tuple(sorted(index - reader.read_uvarint() for __ in range(count)))
+        parents[index] = refs
+    return parents
+
+
+def _decode_ids_column(data: bytes, num_events: int) -> list[EventId]:
+    reader = ByteReader(data)
+    agent_count = reader.read_uvarint()
+    agents = [reader.read_string() for _ in range(agent_count)]
+    run_count = reader.read_uvarint()
+    ids: list[EventId] = []
+    for _ in range(run_count):
+        agent = agents[reader.read_uvarint()]
+        start_seq = reader.read_uvarint()
+        count = reader.read_uvarint()
+        for offset in range(count):
+            ids.append(EventId(agent, start_seq + offset))
+    if len(ids) != num_events:
+        raise ValueError("ids column does not match event count")
+    return ids

@@ -1,0 +1,48 @@
+"""Cached document snapshots (the fast-load path of §4.3).
+
+Eg-walker and OT can load a document orders of magnitude faster than CRDTs
+because the steady state they need is just the plain text (plus the version it
+corresponds to); the event graph stays on disk until a concurrent merge needs
+it.  A snapshot file is therefore essentially a text file with a tiny header
+recording the frontier, which is exactly what this module writes and reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ids import EventId
+from .varint import ByteReader, ByteWriter
+
+__all__ = ["Snapshot", "encode_snapshot", "decode_snapshot"]
+
+_MAGIC = b"EGSN"
+
+
+@dataclass(frozen=True, slots=True)
+class Snapshot:
+    """The cached document state: its text and the version it reflects."""
+
+    text: str
+    version: tuple[EventId, ...]
+
+
+def encode_snapshot(snapshot: Snapshot) -> bytes:
+    writer = ByteWriter()
+    writer.write_bytes(_MAGIC)
+    writer.write_uvarint(len(snapshot.version))
+    for agent, seq in snapshot.version:
+        writer.write_string(agent)
+        writer.write_uvarint(seq)
+    writer.write_string(snapshot.text)
+    return writer.getvalue()
+
+
+def decode_snapshot(data: bytes) -> Snapshot:
+    reader = ByteReader(data)
+    if reader.read_bytes(4) != _MAGIC:
+        raise ValueError("not a snapshot file")
+    count = reader.read_uvarint()
+    version = tuple(EventId(reader.read_string(), reader.read_uvarint()) for _ in range(count))
+    text = reader.read_string()
+    return Snapshot(text=text, version=version)

@@ -1,0 +1,22 @@
+"""Editing traces: data model, synthetic generators, dataset registry, statistics."""
+
+from .datasets import PAPER_TABLE1, TRACE_NAMES, default_scale, get_trace, load_all_traces
+from .generator import TypingModel, generate_async, generate_concurrent, generate_sequential
+from .stats import TraceStats, compute_stats
+from .trace import Trace, TraceKind
+
+__all__ = [
+    "PAPER_TABLE1",
+    "TRACE_NAMES",
+    "Trace",
+    "TraceKind",
+    "TraceStats",
+    "TypingModel",
+    "compute_stats",
+    "default_scale",
+    "generate_async",
+    "generate_concurrent",
+    "generate_sequential",
+    "get_trace",
+    "load_all_traces",
+]

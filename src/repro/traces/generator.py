@@ -1,0 +1,242 @@
+"""Synthetic editing-trace generators (the stand-in for the paper's datasets).
+
+The paper benchmarks on recorded keystroke traces of real documents (§4.1).
+Those recordings are not reproducible here, so this module generates synthetic
+traces with the same *structure*:
+
+* :func:`generate_sequential` — one or two authors typing a document in turns,
+  with realistic word-at-a-time typing, backspacing and cursor movement.  The
+  resulting graph is a single linear run (S1–S3).
+* :func:`generate_concurrent` — two authors editing at the same time with
+  network latency between them, producing a large number of short-lived
+  branches that merge within a few events (C1–C2).
+* :func:`generate_async` — a Git-like workflow: authors fork long-running
+  branches from a shared mainline, edit them independently (possibly keeping
+  several branches alive at once so that no critical versions exist), and
+  merge them back (A1–A2).
+
+All generators are deterministic given a seed.  The typing model writes words
+drawn from a small vocabulary, deletes and retypes recent text, and moves the
+cursor, so that the fraction of surviving characters and the run structure are
+in the same ballpark as the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.document import Document
+from .trace import Trace
+
+__all__ = [
+    "TypingModel",
+    "generate_sequential",
+    "generate_concurrent",
+    "generate_async",
+]
+
+_VOCABULARY = (
+    "the quick brown fox jumps over lazy dog collaborative text editing with "
+    "event graph walker merges concurrent operations faster smaller better "
+    "replica network latency branch offline version history algorithm paper "
+    "benchmark trace document character insert delete memory state critical"
+).split()
+
+
+@dataclass(slots=True)
+class TypingModel:
+    """Parameters of the synthetic typist."""
+
+    #: Probability that the next burst deletes text instead of inserting.
+    delete_probability: float = 0.22
+    #: Probability of jumping the cursor to a random position before a burst.
+    jump_probability: float = 0.12
+    #: Maximum number of characters deleted in one burst.
+    max_delete_run: int = 12
+
+
+class _Typist:
+    """Simulates one author editing a :class:`Document` word by word."""
+
+    def __init__(self, document: Document, rng: random.Random, model: TypingModel) -> None:
+        self.document = document
+        self.rng = rng
+        self.model = model
+        self.cursor = len(document)
+
+    def burst(self, approx_events: int) -> int:
+        """Perform roughly ``approx_events`` single-character events."""
+        produced = 0
+        while produced < approx_events:
+            doc_len = len(self.document)
+            self.cursor = min(self.cursor, doc_len)
+            if self.rng.random() < self.model.jump_probability:
+                self.cursor = self.rng.randint(0, doc_len) if doc_len else 0
+            if doc_len > 4 and self.rng.random() < self.model.delete_probability:
+                run = self.rng.randint(1, self.model.max_delete_run)
+                run = min(run, doc_len)
+                pos = max(0, min(self.cursor, doc_len - run))
+                self.document.delete(pos, run)
+                self.cursor = pos
+                produced += run
+            else:
+                word = self.rng.choice(_VOCABULARY)
+                text = word + " "
+                pos = min(self.cursor, len(self.document))
+                self.document.insert(pos, text)
+                self.cursor = pos + len(text)
+                produced += len(text)
+        return produced
+
+
+def generate_sequential(
+    name: str,
+    *,
+    target_events: int,
+    authors: int = 1,
+    seed: int = 0,
+    model: TypingModel | None = None,
+) -> Trace:
+    """A purely sequential trace: authors take turns, nothing is concurrent."""
+    rng = random.Random(seed)
+    model = model or TypingModel()
+    document = Document("author0")
+    typists = []
+    for i in range(authors):
+        # All authors edit the *same* replica in turns, which is exactly what
+        # "taking turns" means: every event happens after all previous ones.
+        typists.append(_Typist(document, rng, model))
+
+    produced = 0
+    turn = 0
+    while produced < target_events:
+        typist = typists[turn % authors]
+        document.agent = f"author{turn % authors}"
+        document.oplog.agent = document.agent
+        produced += typist.burst(min(200, target_events - produced))
+        turn += 1
+    return Trace(
+        name=name,
+        kind="sequential",
+        graph=document.oplog.graph,
+        description=f"{authors} author(s) taking turns, no concurrency",
+        authors=authors,
+        seed=seed,
+    )
+
+
+def generate_concurrent(
+    name: str,
+    *,
+    target_events: int,
+    seed: int = 0,
+    events_per_exchange: int = 24,
+    model: TypingModel | None = None,
+) -> Trace:
+    """Two authors editing simultaneously with latency between them.
+
+    Between synchronisation points each author types a short burst against
+    their own replica; the bursts are concurrent with each other, giving the
+    many short-lived branches of the paper's C1/C2 traces.
+    """
+    rng = random.Random(seed)
+    model = model or TypingModel()
+    alice = Document("alice")
+    bob = Document("bob")
+    alice_typist = _Typist(alice, rng, model)
+    bob_typist = _Typist(bob, rng, model)
+
+    produced = 0
+    while produced < target_events:
+        burst = max(4, int(rng.gauss(events_per_exchange / 2, events_per_exchange / 6)))
+        produced += alice_typist.burst(burst)
+        produced += bob_typist.burst(burst)
+        # The artificial latency elapses: both sides exchange their edits.
+        alice.merge(bob)
+        bob.merge(alice)
+        alice_typist.cursor = min(alice_typist.cursor, len(alice))
+        bob_typist.cursor = min(bob_typist.cursor, len(bob))
+    alice.merge(bob)
+    bob.merge(alice)
+    return Trace(
+        name=name,
+        kind="concurrent",
+        graph=alice.oplog.graph,
+        description="two authors editing in real time with artificial latency",
+        authors=2,
+        seed=seed,
+    )
+
+
+def generate_async(
+    name: str,
+    *,
+    target_events: int,
+    seed: int = 0,
+    concurrent_branches: int = 2,
+    events_per_branch: int = 400,
+    authors: int = 8,
+    keep_unmerged: bool = False,
+    model: TypingModel | None = None,
+) -> Trace:
+    """A Git-like trace: long-running branches forked from and merged into a mainline.
+
+    Args:
+        target_events: approximate total number of events to generate.
+        concurrent_branches: how many branches are kept alive at any time.
+            With 1 the history is a chain of fork/merge bubbles (like A1);
+            with several, new branches fork before old ones merge, so the
+            graph never has a critical version after the first fork (like A2).
+        events_per_branch: approximate events per branch before it merges.
+        authors: number of distinct branch authors to rotate through.
+        keep_unmerged: leave the final branches unmerged (history ends with
+            several heads) — useful for "merge two long branches" scenarios.
+    """
+    rng = random.Random(seed)
+    model = model or TypingModel()
+    main = Document("maintainer")
+    # Seed the document with a little initial content so branches have
+    # something to edit around.
+    _Typist(main, rng, model).burst(min(200, max(40, target_events // 50)))
+
+    produced = len(main.oplog.graph)
+    branches: list[tuple[Document, _Typist]] = []
+    author_counter = 0
+
+    def fork() -> None:
+        nonlocal author_counter
+        author = f"dev{author_counter % authors}"
+        author_counter += 1
+        branch = Document(author)
+        branch.merge(main)
+        branches.append((branch, _Typist(branch, rng, model)))
+
+    for _ in range(concurrent_branches):
+        fork()
+
+    while produced < target_events:
+        # Every live branch gets some work.
+        for branch, typist in branches:
+            burst = max(10, int(rng.gauss(events_per_branch / 4, events_per_branch / 8)))
+            produced += typist.burst(burst)
+        # Merge the oldest branch back into main and fork a replacement, so
+        # the number of live branches stays constant.
+        branch, _ = branches.pop(0)
+        main.merge(branch)
+        fork()
+
+    if not keep_unmerged:
+        for branch, _ in branches:
+            main.merge(branch)
+    return Trace(
+        name=name,
+        kind="asynchronous",
+        graph=main.oplog.graph,
+        description=(
+            f"git-style history, ~{concurrent_branches} live branches, "
+            f"{authors} authors"
+        ),
+        authors=authors + 1,
+        seed=seed,
+    )

@@ -1,0 +1,113 @@
+"""Trace statistics — the quantities reported in Table 1 of the paper.
+
+For every trace the paper reports: number of events, average concurrency,
+number of graph runs, number of authors, the percentage of inserted characters
+that survive to the final document, and the final document size.  This module
+computes the same statistics from an event graph so that the Table 1 benchmark
+can print the reproduction's row next to the paper's row.
+
+Definitions used here (the paper does not give formal definitions):
+
+* **Average concurrency** — the mean, over events, of the number of other
+  branch heads that are concurrent with the event at the moment it was added,
+  i.e. ``len(frontier) - 1`` after adding the event, averaged over all events.
+  Sequential traces score 0; a session with two users typing simultaneously
+  scores a bit under 1; a history with seven live branches scores around 6.
+* **Graph runs** — the number of maximal linear runs: an event starts a new
+  run iff its parents are not exactly the previous event, or the previous
+  event has more than one child.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.event_graph import EventGraph
+from .trace import Trace
+
+__all__ = ["TraceStats", "compute_stats"]
+
+
+@dataclass(slots=True)
+class TraceStats:
+    """One row of Table 1."""
+
+    name: str
+    kind: str
+    events: int
+    inserts: int
+    deletes: int
+    average_concurrency: float
+    graph_runs: int
+    authors: int
+    chars_remaining_percent: float
+    final_size_bytes: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "events_k": round(self.events / 1000, 1),
+            "avg_concurrency": round(self.average_concurrency, 2),
+            "graph_runs": self.graph_runs,
+            "authors": self.authors,
+            "chars_remaining_pct": round(self.chars_remaining_percent, 1),
+            "final_size_kb": round(self.final_size_bytes / 1000, 1),
+        }
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute the Table 1 statistics for ``trace``."""
+    graph = trace.graph
+    inserts = sum(1 for e in graph.events() if e.op.is_insert)
+    deletes = len(graph) - inserts
+
+    average_concurrency = _average_concurrency(graph)
+    graph_runs = _graph_runs(graph)
+    authors = len({e.id.agent for e in graph.events()})
+
+    final_text = trace.final_text
+    final_size = len(final_text.encode("utf-8"))
+    chars_remaining = (len(final_text) / inserts * 100.0) if inserts else 0.0
+
+    return TraceStats(
+        name=trace.name,
+        kind=trace.kind,
+        events=len(graph),
+        inserts=inserts,
+        deletes=deletes,
+        average_concurrency=average_concurrency,
+        graph_runs=graph_runs,
+        authors=authors,
+        chars_remaining_percent=chars_remaining,
+        final_size_bytes=final_size,
+    )
+
+
+def _average_concurrency(graph: EventGraph) -> float:
+    """Mean number of concurrent branch heads per event (see module docstring)."""
+    if len(graph) == 0:
+        return 0.0
+    frontier: set[int] = set()
+    total = 0
+    for event in graph.events():
+        frontier.difference_update(event.parents)
+        frontier.add(event.index)
+        total += len(frontier) - 1
+    return total / len(graph)
+
+
+def _graph_runs(graph: EventGraph) -> int:
+    """Number of maximal linear runs in the event graph."""
+    if len(graph) == 0:
+        return 0
+    runs = 0
+    for event in graph.events():
+        if event.index == 0:
+            runs += 1
+            continue
+        previous = event.index - 1
+        starts_new_run = event.parents != (previous,) or len(graph.children_of(previous)) > 1
+        if starts_new_run:
+            runs += 1
+    return runs

@@ -1,0 +1,117 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small editing histories (hand-written and generated) that
+are reused across test modules.  Trace sizes are deliberately tiny so the full
+suite runs in seconds; the benchmarks exercise the large configurations.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout without installing the
+# package (pip's editable install needs the `wheel` package, which offline
+# environments may lack).
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+from repro.core.document import Document  # noqa: E402
+from repro.core.event_graph import EventGraph  # noqa: E402
+from repro.core.ids import EventId, delete_op, insert_op  # noqa: E402
+from repro.traces.generator import (  # noqa: E402
+    generate_async,
+    generate_concurrent,
+    generate_sequential,
+)
+
+
+def build_figure2_graph() -> EventGraph:
+    """The event graph of Figure 2: concurrent "l" and "!" insertions into "Helo"."""
+    graph = EventGraph()
+    graph.add_event(EventId("u1", 0), (), insert_op(0, "H"), parents_are_indices=True)
+    graph.add_event(EventId("u1", 1), (0,), insert_op(1, "e"), parents_are_indices=True)
+    graph.add_event(EventId("u1", 2), (1,), insert_op(2, "l"), parents_are_indices=True)
+    graph.add_event(EventId("u1", 3), (2,), insert_op(3, "o"), parents_are_indices=True)
+    graph.add_event(EventId("u1", 4), (3,), insert_op(3, "l"), parents_are_indices=True)
+    graph.add_event(EventId("u2", 0), (3,), insert_op(4, "!"), parents_are_indices=True)
+    return graph
+
+
+def build_figure4_graph() -> EventGraph:
+    """The event graph of Figure 4: "hi" -> concurrent "hey" / "Hi" -> "Hey!"."""
+    graph = EventGraph()
+    graph.add_event(EventId("a", 0), (), insert_op(0, "h"), parents_are_indices=True)
+    graph.add_event(EventId("a", 1), (0,), insert_op(1, "i"), parents_are_indices=True)
+    # Branch 1 (user b): capitalise the "h".
+    graph.add_event(EventId("b", 0), (1,), insert_op(0, "H"), parents_are_indices=True)
+    graph.add_event(EventId("b", 1), (2,), delete_op(1), parents_are_indices=True)
+    # Branch 2 (user a): "hi" -> "hey".
+    graph.add_event(EventId("a", 2), (1,), delete_op(1), parents_are_indices=True)
+    graph.add_event(EventId("a", 3), (4,), insert_op(1, "e"), parents_are_indices=True)
+    graph.add_event(EventId("a", 4), (5,), insert_op(2, "y"), parents_are_indices=True)
+    # Merge of both branches, then "!" appended to "Hey".
+    graph.add_event(EventId("a", 5), (3, 6), insert_op(3, "!"), parents_are_indices=True)
+    return graph
+
+
+@pytest.fixture
+def figure2_graph() -> EventGraph:
+    return build_figure2_graph()
+
+
+@pytest.fixture
+def figure4_graph() -> EventGraph:
+    return build_figure4_graph()
+
+
+@pytest.fixture(scope="session")
+def small_sequential_trace():
+    return generate_sequential("seq-small", target_events=300, authors=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_concurrent_trace():
+    return generate_concurrent("conc-small", target_events=300, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_async_trace():
+    return generate_async(
+        "async-small",
+        target_events=350,
+        seed=13,
+        concurrent_branches=3,
+        events_per_branch=60,
+        authors=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def all_small_traces(small_sequential_trace, small_concurrent_trace, small_async_trace):
+    return {
+        "sequential": small_sequential_trace,
+        "concurrent": small_concurrent_trace,
+        "asynchronous": small_async_trace,
+    }
+
+
+def make_two_branch_documents() -> tuple[Document, Document]:
+    """Two replicas that share a prefix and then diverge (used by several tests)."""
+    alice = Document("alice")
+    alice.insert(0, "shared base text. ")
+    bob = Document("bob")
+    bob.merge(alice)
+    alice.insert(len(alice.text), "alice adds this at the end. ")
+    alice.delete(0, 7)
+    bob.insert(0, "bob prepends this. ")
+    bob.delete(len(bob.text) - 6, 5)
+    return alice, bob
+
+
+@pytest.fixture
+def two_branch_documents() -> tuple[Document, Document]:
+    return make_two_branch_documents()

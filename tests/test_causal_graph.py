@@ -1,0 +1,145 @@
+"""Unit tests for ancestry queries: happened-before, versions, and diff (§3.2)."""
+
+import pytest
+
+from repro.core.causal_graph import CausalGraph
+from repro.core.event_graph import EventGraph
+from repro.core.ids import EventId, insert_op
+
+
+def diamond_graph() -> EventGraph:
+    """0 -> (1, 2) -> 3 : a fork followed by a merge."""
+    graph = EventGraph()
+    graph.add_event(EventId("a", 0), (), insert_op(0, "a"), parents_are_indices=True)
+    graph.add_event(EventId("b", 0), (0,), insert_op(1, "b"), parents_are_indices=True)
+    graph.add_event(EventId("c", 0), (0,), insert_op(1, "c"), parents_are_indices=True)
+    graph.add_event(EventId("a", 1), (1, 2), insert_op(0, "d"), parents_are_indices=True)
+    return graph
+
+
+def chain_graph(length: int) -> EventGraph:
+    graph = EventGraph()
+    for i in range(length):
+        graph.add_local_event("a", insert_op(i, "x"))
+    return graph
+
+
+@pytest.fixture
+def diamond() -> CausalGraph:
+    return CausalGraph(diamond_graph())
+
+
+class TestAncestors:
+    def test_ancestors_of_root_version(self, diamond):
+        assert diamond.ancestors(()) == set()
+
+    def test_ancestors_include_version_members(self, diamond):
+        assert diamond.ancestors((1,)) == {0, 1}
+
+    def test_ancestors_of_merge_event(self, diamond):
+        assert diamond.ancestors((3,)) == {0, 1, 2, 3}
+
+    def test_events_of_version_alias(self, diamond):
+        assert diamond.events_of_version((2,)) == diamond.ancestors((2,))
+
+
+class TestHappenedBefore:
+    def test_parent_happened_before_child(self, diamond):
+        assert diamond.happened_before(0, 1)
+        assert diamond.happened_before(0, 3)
+
+    def test_child_not_before_parent(self, diamond):
+        assert not diamond.happened_before(3, 0)
+
+    def test_concurrent_events(self, diamond):
+        assert diamond.concurrent(1, 2)
+        assert not diamond.concurrent(0, 1)
+        assert not diamond.concurrent(1, 1)
+
+    def test_version_contains(self, diamond):
+        assert diamond.version_contains((3,), 0)
+        assert diamond.version_contains((1,), 0)
+        assert not diamond.version_contains((1,), 2)
+        assert not diamond.version_contains((), 0)
+
+
+class TestVersionAlgebra:
+    def test_frontier_of_removes_dominated(self, diamond):
+        assert diamond.frontier_of({0, 1, 2}) == (1, 2)
+        assert diamond.frontier_of({0, 1, 2, 3}) == (3,)
+
+    def test_advance_version(self, diamond):
+        assert diamond.advance_version((0,), 1) == (1,)
+        assert diamond.advance_version((1,), 2) == (1, 2)
+        assert diamond.advance_version((1, 2), 3) == (3,)
+
+    def test_merge_versions(self, diamond):
+        assert diamond.merge_versions((1,), (2,)) == (1, 2)
+        assert diamond.merge_versions((3,), (1,)) == (3,)
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ((1,), (1,), "equal"),
+            ((0,), (1,), "before"),
+            ((3,), (1,), "after"),
+            ((1,), (2,), "concurrent"),
+        ],
+    )
+    def test_compare_versions(self, diamond, a, b, expected):
+        assert diamond.compare_versions(a, b) == expected
+
+
+class TestDiff:
+    def test_diff_of_equal_versions_is_empty(self, diamond):
+        only_a, only_b = diamond.diff((1,), (1,))
+        assert only_a == [] and only_b == []
+
+    def test_diff_of_concurrent_versions(self, diamond):
+        only_a, only_b = diamond.diff((1,), (2,))
+        assert only_a == [1]
+        assert only_b == [2]
+
+    def test_diff_ancestor_descendant(self, diamond):
+        only_a, only_b = diamond.diff((0,), (3,))
+        assert only_a == []
+        assert only_b == [1, 2, 3]
+
+    def test_diff_from_root(self, diamond):
+        only_a, only_b = diamond.diff((), (3,))
+        assert only_a == []
+        assert only_b == [0, 1, 2, 3]
+
+    def test_diff_results_are_sorted_ascending(self, diamond):
+        _, only_b = diamond.diff((), (3,))
+        assert only_b == sorted(only_b)
+
+    def test_diff_long_chain_stops_at_common_ancestor(self):
+        graph = chain_graph(50)
+        graph.add_event(EventId("b", 0), (30,), insert_op(0, "y"), parents_are_indices=True)
+        causal = CausalGraph(graph)
+        only_a, only_b = causal.diff((49,), (50,))
+        assert only_a == list(range(31, 50))
+        assert only_b == [50]
+
+    def test_events_between(self, diamond):
+        assert diamond.events_between((0,), (3,)) == [1, 2, 3]
+
+
+class TestDiffMatchesBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_against_ancestor_sets(self, seed, small_concurrent_trace):
+        import random
+
+        graph = small_concurrent_trace.graph
+        causal = CausalGraph(graph)
+        rng = random.Random(seed)
+        n = len(graph)
+        for _ in range(10):
+            a = (rng.randrange(n),)
+            b = (rng.randrange(n),)
+            only_a, only_b = causal.diff(a, b)
+            set_a = causal.ancestors(a)
+            set_b = causal.ancestors(b)
+            assert set(only_a) == set_a - set_b
+            assert set(only_b) == set_b - set_a

@@ -1,0 +1,213 @@
+"""Tests for the CRDT substrate: the list CRDT, the converter, and the baselines."""
+
+import random
+
+import pytest
+
+from repro.core.walker import EgWalker
+from repro.crdt import (
+    AutomergeLikeDocument,
+    CrdtDeleteOp,
+    CrdtInsertOp,
+    RefCRDTDocument,
+    SimpleListCRDT,
+    YjsLikeDocument,
+    event_graph_to_crdt_ops,
+)
+from repro.core.ids import EventId
+
+
+class TestSimpleListCRDTLocalEditing:
+    def test_local_insert_and_text(self):
+        doc = SimpleListCRDT("a")
+        doc.local_insert(0, "hello")
+        assert doc.text() == "hello"
+        assert len(doc) == 5
+
+    def test_local_delete(self):
+        doc = SimpleListCRDT("a")
+        doc.local_insert(0, "hello")
+        doc.local_delete(0, 2)
+        assert doc.text() == "llo"
+        assert doc.item_count() == 5  # tombstones retained
+
+    def test_ops_capture_origins(self):
+        doc = SimpleListCRDT("a")
+        ops = doc.local_insert(0, "ab")
+        assert ops[0].origin_left is None
+        assert ops[1].origin_left == ops[0].id
+
+    def test_insert_out_of_range(self):
+        doc = SimpleListCRDT("a")
+        with pytest.raises(IndexError):
+            doc.local_insert(1, "x")
+
+    def test_delete_out_of_range(self):
+        doc = SimpleListCRDT("a")
+        doc.local_insert(0, "x")
+        with pytest.raises(IndexError):
+            doc.local_delete(1)
+
+
+class TestSimpleListCRDTReplication:
+    def _sync(self, source: SimpleListCRDT, target: SimpleListCRDT, ops):
+        for op in ops:
+            target.apply(op)
+
+    def test_two_replicas_converge_concurrent_inserts(self):
+        a = SimpleListCRDT("a")
+        b = SimpleListCRDT("b")
+        base_ops = a.local_insert(0, "Helo")
+        self._sync(a, b, base_ops)
+        ops_a = a.local_insert(3, "l")
+        ops_b = b.local_insert(4, "!")
+        self._sync(a, b, ops_a)
+        self._sync(b, a, ops_b)
+        assert a.text() == b.text() == "Hello!"
+
+    def test_concurrent_delete_and_insert(self):
+        a = SimpleListCRDT("a")
+        b = SimpleListCRDT("b")
+        self._sync(a, b, a.local_insert(0, "abc"))
+        ops_a = a.local_delete(1)
+        ops_b = b.local_insert(3, "!")
+        self._sync(a, b, ops_a)
+        self._sync(b, a, ops_b)
+        assert a.text() == b.text() == "ac!"
+
+    def test_out_of_order_delivery_is_buffered(self):
+        a = SimpleListCRDT("a")
+        ops = a.local_insert(0, "xyz")
+        b = SimpleListCRDT("b")
+        # Deliver in reverse order: later ops must wait for their origins.
+        assert not b.apply(ops[2])
+        assert not b.apply(ops[1])
+        assert b.apply(ops[0])
+        assert b.text() == "xyz"
+
+    def test_duplicate_delivery_is_idempotent(self):
+        a = SimpleListCRDT("a")
+        ops = a.local_insert(0, "hi")
+        b = SimpleListCRDT("b")
+        for _ in range(3):
+            for op in ops:
+                b.apply(op)
+        assert b.text() == "hi"
+        assert b.item_count() == 2
+
+    def test_apply_all_raises_on_missing_dependencies(self):
+        b = SimpleListCRDT("b")
+        orphan = CrdtDeleteOp(id=EventId("a", 5), target=EventId("a", 0))
+        with pytest.raises(RuntimeError):
+            b.apply_all([orphan])
+
+    def test_delivery_order_does_not_matter(self):
+        rng = random.Random(3)
+        a = SimpleListCRDT("a")
+        b = SimpleListCRDT("b")
+        ops_a, ops_b = [], []
+        base = a.local_insert(0, "The quick brown fox")
+        for op in base:
+            b.apply(op)
+        ops_a += a.local_insert(4, "very ")
+        ops_b += b.local_delete(4, 6)
+        ops_a += a.local_insert(0, ">> ")
+        all_ops = ops_a + ops_b
+        results = set()
+        for _ in range(5):
+            order = all_ops[:]
+            rng.shuffle(order)
+            c = SimpleListCRDT("c")
+            for op in base:
+                c.apply(op)
+            # Causal delivery is required, so keep retrying buffered ops.
+            for op in order:
+                c.apply(op)
+            assert c._pending == []
+            results.add(c.text())
+        assert len(results) == 1
+
+
+class TestConverter:
+    @pytest.mark.parametrize(
+        "trace_fixture",
+        ["small_sequential_trace", "small_concurrent_trace", "small_async_trace"],
+    )
+    def test_converted_ops_replay_to_the_same_text(self, trace_fixture, request):
+        trace = request.getfixturevalue(trace_fixture)
+        graph = trace.graph
+        ops = event_graph_to_crdt_ops(graph)
+        assert len(ops) == len(graph)
+        replica = SimpleListCRDT("replica")
+        replica.apply_all(ops)
+        assert replica.text() == EgWalker(graph).replay_text()
+
+    def test_converted_op_ids_match_event_ids(self, figure2_graph):
+        ops = event_graph_to_crdt_ops(figure2_graph)
+        assert [op.id for op in ops] == [figure2_graph.id_of(i) for i in range(len(figure2_graph))]
+
+    def test_delete_ops_reference_inserted_characters(self, figure4_graph):
+        ops = event_graph_to_crdt_ops(figure4_graph)
+        deletes = [op for op in ops if isinstance(op, CrdtDeleteOp)]
+        insert_ids = {op.id for op in ops if isinstance(op, CrdtInsertOp)}
+        assert deletes, "figure 4 contains deletions"
+        for op in deletes:
+            assert op.target in insert_ids
+
+
+class TestPersistentCrdtBaselines:
+    @pytest.mark.parametrize(
+        "document_class", [RefCRDTDocument, AutomergeLikeDocument, YjsLikeDocument]
+    )
+    def test_merge_matches_walker(self, document_class, small_concurrent_trace):
+        graph = small_concurrent_trace.graph
+        document = document_class()
+        text = document.merge_event_graph(graph)
+        assert text == EgWalker(graph).replay_text()
+        assert document.item_count() == sum(1 for e in graph.events() if e.op.is_insert)
+        deletes = sum(1 for e in graph.events() if e.op.is_delete)
+        assert document.tombstone_count() <= deletes
+
+    @pytest.mark.parametrize(
+        "document_class", [RefCRDTDocument, AutomergeLikeDocument, YjsLikeDocument]
+    )
+    def test_save_load_round_trip(self, document_class, small_async_trace):
+        graph = small_async_trace.graph
+        document = document_class()
+        text = document.merge_event_graph(graph)
+        data = document.save()
+        loaded = document_class.load(data)
+        assert loaded.text == text
+        assert loaded.item_count() == document.item_count()
+
+    def test_ref_crdt_retains_tombstones(self, small_sequential_trace):
+        graph = small_sequential_trace.graph
+        document = RefCRDTDocument()
+        document.merge_event_graph(graph)
+        deletes = sum(1 for e in graph.events() if e.op.is_delete)
+        assert document.tombstone_count() > 0
+        assert document.tombstone_count() <= deletes
+
+    def test_automerge_like_file_keeps_full_history(self, small_sequential_trace):
+        graph = small_sequential_trace.graph
+        document = AutomergeLikeDocument()
+        document.merge_event_graph(graph)
+        decoded = AutomergeLikeDocument.decode_history(document.save())
+        assert len(decoded) == len(graph)
+        assert EgWalker(decoded).replay_text() == document.text
+
+    def test_yjs_like_file_is_smaller_than_automerge_like(self, small_sequential_trace):
+        graph = small_sequential_trace.graph
+        automerge = AutomergeLikeDocument()
+        automerge.merge_event_graph(graph)
+        yjs = YjsLikeDocument()
+        yjs.merge_event_graph(graph)
+        assert len(yjs.save()) < len(automerge.save())
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError):
+            RefCRDTDocument.load(b"XXXXnot a document")
+        with pytest.raises(ValueError):
+            YjsLikeDocument.load(b"XXXXnot a document")
+        with pytest.raises(ValueError):
+            AutomergeLikeDocument.load(b"XXXXnot a document")

@@ -1,0 +1,123 @@
+"""Unit tests for critical-version detection (§3.5)."""
+
+import pytest
+
+from repro.core.causal_graph import CausalGraph
+from repro.core.critical_versions import (
+    critical_cut_positions,
+    is_critical_version,
+    latest_critical_cut_before,
+)
+from repro.core.event_graph import EventGraph
+from repro.core.ids import EventId, insert_op
+from repro.core.topo_sort import sort_branch_aware
+
+
+def linear_graph(n: int) -> EventGraph:
+    graph = EventGraph()
+    for i in range(n):
+        graph.add_local_event("a", insert_op(i, "x"))
+    return graph
+
+
+def fork_merge_graph() -> EventGraph:
+    """0 - 1 - (2 | 3) - 4 - 5 : one concurrent bubble in the middle."""
+    graph = EventGraph()
+    graph.add_event(EventId("a", 0), (), insert_op(0, "a"), parents_are_indices=True)
+    graph.add_event(EventId("a", 1), (0,), insert_op(1, "b"), parents_are_indices=True)
+    graph.add_event(EventId("a", 2), (1,), insert_op(2, "c"), parents_are_indices=True)
+    graph.add_event(EventId("b", 0), (1,), insert_op(2, "d"), parents_are_indices=True)
+    graph.add_event(EventId("a", 3), (2, 3), insert_op(4, "e"), parents_are_indices=True)
+    graph.add_event(EventId("a", 4), (4,), insert_op(5, "f"), parents_are_indices=True)
+    return graph
+
+
+class TestLinearHistories:
+    def test_every_cut_is_critical(self):
+        graph = linear_graph(6)
+        order = list(range(6))
+        assert critical_cut_positions(graph, order) == set(range(6))
+
+    def test_empty_order(self):
+        assert critical_cut_positions(EventGraph(), []) == set()
+
+    def test_single_event(self):
+        graph = linear_graph(1)
+        assert critical_cut_positions(graph, [0]) == {0}
+
+
+class TestForkMerge:
+    def test_cuts_outside_the_bubble_are_critical(self):
+        graph = fork_merge_graph()
+        order = list(range(len(graph)))
+        cuts = critical_cut_positions(graph, order)
+        # Positions 0 and 1 precede the fork; 4 is the merge; 5 is the tail.
+        assert 0 in cuts
+        assert 1 in cuts
+        assert 4 in cuts
+        assert 5 in cuts
+
+    def test_cuts_inside_the_bubble_are_not_critical(self):
+        graph = fork_merge_graph()
+        order = list(range(len(graph)))
+        cuts = critical_cut_positions(graph, order)
+        assert 2 not in cuts
+        assert 3 not in cuts
+
+    def test_is_critical_version_wrapper(self):
+        graph = fork_merge_graph()
+        order = list(range(len(graph)))
+        assert is_critical_version(graph, order, 1)
+        assert not is_critical_version(graph, order, 2)
+
+    def test_latest_critical_cut_before(self):
+        graph = fork_merge_graph()
+        order = list(range(len(graph)))
+        assert latest_critical_cut_before(graph, order, 4) == 1
+        assert latest_critical_cut_before(graph, order, 1) == 0
+        assert latest_critical_cut_before(graph, order, 0) is None
+
+
+class TestDefinitionEquivalence:
+    """The linear-scan detection must match the paper's definition exactly."""
+
+    def _brute_force(self, graph, order):
+        causal = CausalGraph(graph)
+        member = set(order)
+        cuts = set()
+        for i in range(len(order)):
+            prefix = set(order[: i + 1])
+            suffix = member - prefix
+            ok = True
+            for late in suffix:
+                # Every prefix event must have happened before every suffix event.
+                ancestors = causal.ancestors((late,)) - {late}
+                if not prefix <= ancestors:
+                    ok = False
+                    break
+            if ok:
+                cuts.add(i)
+        return cuts
+
+    @pytest.mark.parametrize("fixture_name", ["small_concurrent_trace", "small_async_trace"])
+    def test_against_brute_force_on_traces(self, fixture_name, request):
+        trace = request.getfixturevalue(fixture_name)
+        graph = trace.graph
+        order = sort_branch_aware(graph, range(len(graph)))[:120]
+        # Restrict to a prefix of the order so the brute force stays fast; the
+        # subset is still a valid "events to replay" set.
+        fast = critical_cut_positions(graph, order)
+        slow = self._brute_force(graph, order)
+        # The linear scan only finds single-event critical versions, so it may
+        # be a subset of the brute-force answer, but only where the prefix
+        # frontier has more than one head.
+        assert fast <= slow
+        for position in slow - fast:
+            prefix = order[: position + 1]
+            causal = CausalGraph(graph)
+            assert len(causal.frontier_of(prefix)) > 1
+
+    def test_sequential_trace_is_all_critical(self, small_sequential_trace):
+        graph = small_sequential_trace.graph
+        order = list(range(len(graph)))
+        assert critical_cut_positions(graph, order) == set(range(len(graph)))

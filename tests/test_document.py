@@ -1,0 +1,180 @@
+"""Tests for the high-level Document API: local editing, merging, history."""
+
+import pytest
+
+from repro.core.document import Document
+from repro.core.ids import EventId
+
+
+class TestLocalEditing:
+    def test_insert_and_read(self):
+        doc = Document("alice")
+        doc.insert(0, "hello")
+        doc.insert(5, " world")
+        assert doc.text == "hello world"
+        assert len(doc) == 11
+
+    def test_delete(self):
+        doc = Document("alice")
+        doc.insert(0, "hello world")
+        removed = doc.delete(5, 6)
+        assert removed == " world"
+        assert doc.text == "hello"
+
+    def test_empty_insert_is_noop(self):
+        doc = Document("alice")
+        doc.insert(0, "")
+        assert doc.text == ""
+        assert len(doc.oplog) == 0
+
+    def test_insert_out_of_range(self):
+        doc = Document("alice")
+        with pytest.raises(IndexError):
+            doc.insert(1, "x")
+
+    def test_delete_out_of_range(self):
+        doc = Document("alice")
+        doc.insert(0, "ab")
+        with pytest.raises(IndexError):
+            doc.delete(1, 5)
+
+    def test_events_are_per_character(self):
+        doc = Document("alice")
+        doc.insert(0, "abc")
+        doc.delete(0, 2)
+        assert len(doc.oplog) == 5
+
+    def test_version_advances_with_edits(self):
+        doc = Document("alice")
+        assert doc.version == ()
+        doc.insert(0, "a")
+        assert doc.version == (0,)
+        doc.insert(1, "b")
+        assert doc.version == (1,)
+
+
+class TestMerging:
+    def test_one_way_merge(self):
+        alice = Document("alice")
+        alice.insert(0, "hello")
+        bob = Document("bob")
+        ops = bob.merge(alice)
+        assert bob.text == "hello"
+        assert len(ops) == 5
+
+    def test_merge_is_idempotent(self):
+        alice = Document("alice")
+        alice.insert(0, "hello")
+        bob = Document("bob")
+        bob.merge(alice)
+        assert bob.merge(alice) == []
+        assert bob.text == "hello"
+
+    def test_paper_figure1_scenario(self):
+        user1 = Document("user1")
+        user2 = Document("user2")
+        user1.insert(0, "Helo")
+        user2.merge(user1)
+        user1.insert(3, "l")
+        user2.insert(4, "!")
+        user1.merge(user2)
+        user2.merge(user1)
+        assert user1.text == user2.text == "Hello!"
+
+    def test_concurrent_deletes_converge(self):
+        alice = Document("alice")
+        alice.insert(0, "abcdef")
+        bob = Document("bob")
+        bob.merge(alice)
+        alice.delete(1, 2)  # remove "bc"
+        bob.delete(2, 2)  # remove "cd"
+        alice.merge(bob)
+        bob.merge(alice)
+        assert alice.text == bob.text == "aef"
+
+    def test_three_replicas_converge(self, two_branch_documents):
+        alice, bob = two_branch_documents
+        carol = Document("carol")
+        carol.merge(alice)
+        carol.insert(0, "[carol] ")
+        for first, second in [(alice, bob), (bob, carol), (carol, alice)]:
+            first.merge(second)
+            second.merge(first)
+        alice.merge(carol)
+        bob.merge(carol)
+        carol.merge(bob)
+        alice.merge(bob)
+        assert alice.text == bob.text == carol.text
+
+    def test_merge_returns_transformed_operations(self, two_branch_documents):
+        alice, bob = two_branch_documents
+        before = alice.text
+        ops = alice.merge(bob)
+        assert ops, "merging a diverged replica must produce operations"
+        # Replaying the returned operations over the old text reproduces the
+        # new text (the incremental-update contract of §2.4).
+        rebuilt = before
+        for op in ops:
+            rebuilt = op.apply_to(rebuilt)
+        assert rebuilt == alice.text
+
+    def test_offline_editing_long_branches(self):
+        alice = Document("alice")
+        alice.insert(0, "chapter one. ")
+        bob = Document("bob")
+        bob.merge(alice)
+        # Both go offline and write a lot.
+        for i in range(40):
+            alice.insert(len(alice.text), f"alice sentence {i}. ")
+        for i in range(40):
+            bob.insert(len(bob.text), f"bob sentence {i}. ")
+        alice.merge(bob)
+        bob.merge(alice)
+        assert alice.text == bob.text
+        assert "alice sentence 39. " in alice.text
+        assert "bob sentence 39. " in alice.text
+
+    def test_exchange_via_remote_events(self):
+        alice = Document("alice")
+        alice.insert(0, "shared")
+        bob = Document("bob")
+        bob.apply_remote_events(alice.oplog.export_events())
+        assert bob.text == "shared"
+        bob.insert(6, "!")
+        missing = bob.events_since(alice.remote_version())
+        assert [e.id for e in missing] == [EventId("bob", 0)]
+        alice.apply_remote_events(missing)
+        assert alice.text == "shared!"
+
+
+class TestHistory:
+    def test_text_at_version(self):
+        doc = Document("alice")
+        doc.insert(0, "abc")
+        version_after_abc = doc.version
+        doc.insert(3, "def")
+        doc.delete(0, 1)
+        assert doc.text_at(version_after_abc) == "abc"
+        assert doc.text_at(doc.version) == doc.text
+
+    def test_history_versions_enumeration(self):
+        doc = Document("alice")
+        doc.insert(0, "xy")
+        versions = doc.history_versions()
+        assert versions == [(0,), (1,)]
+        assert [doc.text_at(v) for v in versions] == ["x", "xy"]
+
+
+class TestWalkerConfigurationsOnDocuments:
+    @pytest.mark.parametrize("backend", ["list", "tree"])
+    @pytest.mark.parametrize("clearing", [True, False])
+    def test_document_options_converge(self, backend, clearing):
+        alice = Document("alice", backend=backend, enable_clearing=clearing)
+        bob = Document("bob", backend=backend, enable_clearing=clearing)
+        alice.insert(0, "Helo")
+        bob.merge(alice)
+        alice.insert(3, "l")
+        bob.insert(4, "!")
+        alice.merge(bob)
+        bob.merge(alice)
+        assert alice.text == bob.text == "Hello!"

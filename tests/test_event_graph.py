@@ -1,0 +1,123 @@
+"""Unit tests for the event graph: construction, frontier, merging."""
+
+import pytest
+
+from repro.core.event_graph import EventGraph, ROOT_VERSION
+from repro.core.ids import EventId, delete_op, insert_op
+
+
+def linear_graph(chars: str, agent: str = "a") -> EventGraph:
+    graph = EventGraph()
+    for i, char in enumerate(chars):
+        graph.add_local_event(agent, insert_op(i, char))
+    return graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = EventGraph()
+        assert len(graph) == 0
+        assert graph.frontier == ROOT_VERSION
+
+    def test_add_local_event_sets_parents_to_frontier(self):
+        graph = linear_graph("abc")
+        assert graph.parents_of(0) == ()
+        assert graph.parents_of(1) == (0,)
+        assert graph.parents_of(2) == (1,)
+        assert graph.frontier == (2,)
+
+    def test_local_events_get_sequential_ids(self):
+        graph = linear_graph("abc", agent="alice")
+        assert [graph.id_of(i) for i in range(3)] == [
+            EventId("alice", 0),
+            EventId("alice", 1),
+            EventId("alice", 2),
+        ]
+
+    def test_multi_char_ops_rejected(self):
+        graph = EventGraph()
+        with pytest.raises(ValueError):
+            graph.add_event(EventId("a", 0), (), insert_op(0, "ab"), parents_are_indices=True)
+
+    def test_duplicate_id_rejected(self):
+        graph = linear_graph("a")
+        with pytest.raises(ValueError):
+            graph.add_event(EventId("a", 0), (), insert_op(0, "x"), parents_are_indices=True)
+
+    def test_parent_index_out_of_range_rejected(self):
+        graph = EventGraph()
+        with pytest.raises(ValueError):
+            graph.add_event(EventId("a", 0), (3,), insert_op(0, "x"), parents_are_indices=True)
+
+    def test_children_tracking(self):
+        graph = linear_graph("ab")
+        graph.add_event(EventId("b", 0), (0,), insert_op(1, "X"), parents_are_indices=True)
+        assert list(graph.children_of(0)) == [1, 2]
+        assert list(graph.children_of(1)) == []
+
+
+class TestFrontier:
+    def test_concurrent_events_both_in_frontier(self):
+        graph = linear_graph("ab")
+        graph.add_event(EventId("b", 0), [EventId("a", 1)], insert_op(2, "X"))
+        graph.add_event(EventId("c", 0), [EventId("a", 1)], insert_op(2, "Y"))
+        assert graph.frontier == (2, 3)
+
+    def test_merge_event_collapses_frontier(self):
+        graph = linear_graph("ab")
+        graph.add_event(EventId("b", 0), [EventId("a", 1)], insert_op(2, "X"))
+        graph.add_event(EventId("c", 0), [EventId("a", 1)], insert_op(2, "Y"))
+        graph.add_event(EventId("a", 2), (2, 3), insert_op(0, "Z"), parents_are_indices=True)
+        assert graph.frontier == (4,)
+
+    def test_version_id_round_trip(self):
+        graph = linear_graph("abc", agent="alice")
+        ids = graph.ids_from_version(graph.frontier)
+        assert graph.version_from_ids(ids) == graph.frontier
+
+
+class TestRemoteEventsAndMerge:
+    def test_add_remote_event_is_idempotent(self):
+        graph = linear_graph("ab")
+        result = graph.add_remote_event(EventId("a", 0), (), insert_op(0, "a"))
+        assert result is None
+        assert len(graph) == 2
+
+    def test_add_remote_event_with_missing_parent_raises(self):
+        graph = EventGraph()
+        with pytest.raises(KeyError):
+            graph.add_remote_event(EventId("b", 0), [EventId("missing", 0)], insert_op(0, "x"))
+
+    def test_merge_from_unions_graphs(self):
+        base = linear_graph("ab", agent="alice")
+        other = EventGraph()
+        other.merge_from(base)
+        other.add_local_event("bob", insert_op(2, "!"))
+        added = base.merge_from(other)
+        assert added == [2]
+        assert base.contains_id(EventId("bob", 0))
+        # Merging again adds nothing.
+        assert base.merge_from(other) == []
+
+    def test_merge_from_preserves_parent_relationships(self):
+        base = linear_graph("ab", agent="alice")
+        other = EventGraph()
+        other.merge_from(base)
+        other.add_local_event("bob", insert_op(0, "X"))
+        base.add_local_event("alice", insert_op(2, "Y"))
+        base.merge_from(other)
+        bob_index = base.index_of(EventId("bob", 0))
+        assert base.parents_of(bob_index) == (1,)
+        assert set(base.frontier) == {2, 3}
+
+
+class TestSummary:
+    def test_summary_counts(self):
+        graph = linear_graph("abc")
+        graph.add_local_event("a", delete_op(0))
+        summary = graph.summary()
+        assert summary == {"events": 4, "inserts": 3, "deletes": 1, "agents": 1}
+
+    def test_next_seq_for_unknown_agent(self):
+        graph = EventGraph()
+        assert graph.next_seq_for("nobody") == 0

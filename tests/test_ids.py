@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.ids: event ids and index-based operations."""
+
+import pytest
+
+from repro.core.ids import EventId, Operation, OpKind, delete_op, insert_op
+
+
+class TestEventId:
+    def test_ordering_is_lexicographic(self):
+        assert EventId("a", 5) < EventId("b", 0)
+        assert EventId("a", 1) < EventId("a", 2)
+        assert not EventId("b", 0) < EventId("a", 99)
+
+    def test_next_increments_seq(self):
+        assert EventId("alice", 3).next() == EventId("alice", 4)
+
+    def test_is_hashable_and_usable_as_dict_key(self):
+        mapping = {EventId("a", 0): "first"}
+        assert mapping[EventId("a", 0)] == "first"
+
+    def test_str_format(self):
+        assert str(EventId("alice", 7)) == "alice:7"
+
+
+class TestOperationConstruction:
+    def test_insert_requires_content(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.INSERT, 0, "")
+
+    def test_delete_rejects_content(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.DELETE, 0, "x")
+
+    def test_delete_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.DELETE, 0, "", 0)
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            insert_op(-1, "a")
+
+    def test_insert_length_tracks_content(self):
+        op = insert_op(3, "hello")
+        assert op.length == 5
+        assert op.end == 8
+
+    def test_helpers_set_kind(self):
+        assert insert_op(0, "a").is_insert
+        assert delete_op(0).is_delete
+        assert not delete_op(0).is_insert
+
+
+class TestOperationApply:
+    def test_insert_apply_to(self):
+        assert insert_op(2, "XY").apply_to("abcd") == "abXYcd"
+
+    def test_insert_at_end(self):
+        assert insert_op(3, "!").apply_to("abc") == "abc!"
+
+    def test_insert_beyond_end_raises(self):
+        with pytest.raises(IndexError):
+            insert_op(4, "!").apply_to("abc")
+
+    def test_delete_apply_to(self):
+        assert delete_op(1, 2).apply_to("abcd") == "ad"
+
+    def test_delete_beyond_end_raises(self):
+        with pytest.raises(IndexError):
+            delete_op(2, 3).apply_to("abc")
+
+
+class TestOperationCharAt:
+    def test_insert_char_at_offsets(self):
+        op = insert_op(5, "abc")
+        assert op.char_at(0) == insert_op(5, "a")
+        assert op.char_at(1) == insert_op(6, "b")
+        assert op.char_at(2) == insert_op(7, "c")
+
+    def test_delete_char_at_keeps_position(self):
+        op = delete_op(5, 3)
+        for offset in range(3):
+            assert op.char_at(offset) == delete_op(5)
+
+    def test_char_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            insert_op(0, "ab").char_at(2)

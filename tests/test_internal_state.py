@@ -1,0 +1,198 @@
+"""Unit tests for the internal CRDT state: apply / retreat / advance (§3.2–3.3)."""
+
+import pytest
+
+from repro.core.ids import EventId
+from repro.core.internal_state import InternalState
+from repro.core.order_statistic_tree import TreeSequence
+from repro.core.records import INSERTED, NOT_YET_INSERTED, CrdtRecord
+from repro.core.sequence import ListSequence
+
+
+def make_state(backend: str, placeholder: int = 0) -> InternalState:
+    if backend == "tree":
+        return InternalState(TreeSequence(placeholder))
+    return InternalState(ListSequence(placeholder))
+
+
+BACKENDS = ["list", "tree"]
+
+
+class TestApplyInsert:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sequential_inserts(self, backend):
+        state = make_state(backend)
+        for i, char in enumerate("hello"):
+            effect_pos = state.apply_insert(EventId("a", i), i)
+            assert effect_pos == i
+        assert state.prepare_length() == 5
+        assert state.effect_length() == 5
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_insert_in_middle_reports_effect_position(self, backend):
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0)
+        state.apply_insert(EventId("a", 1), 1)
+        effect_pos = state.apply_insert(EventId("a", 2), 1)
+        assert effect_pos == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_records_registered_in_id_map(self, backend):
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0)
+        record = state.id_map[EventId("a", 0)]
+        assert isinstance(record, CrdtRecord)
+        assert record.prepare_state == INSERTED
+        assert not record.ever_deleted
+
+
+class TestApplyDelete:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delete_returns_effect_position(self, backend):
+        state = make_state(backend)
+        for i in range(3):
+            state.apply_insert(EventId("a", i), i)
+        effect_pos = state.apply_delete(EventId("a", 3), 1)
+        assert effect_pos == 1
+        assert state.prepare_length() == 2
+        assert state.effect_length() == 2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_double_delete_is_noop(self, backend):
+        """Two concurrent deletions of the same character (Lemma C.7 case 2)."""
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0)
+        assert state.apply_delete(EventId("b", 0), 0) == 0
+        # Concurrent second delete: retreat the first, then apply the second.
+        state.retreat(EventId("b", 0), is_insert=False)
+        assert state.apply_delete(EventId("c", 0), 0) is None
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delete_inside_placeholder(self, backend):
+        state = make_state(backend, placeholder=10)
+        effect_pos = state.apply_delete(EventId("a", 0), 4)
+        assert effect_pos == 4
+        assert state.prepare_length() == 9
+        assert state.effect_length() == 9
+        record = state.id_map[EventId("a", 0)]
+        assert record.ever_deleted
+        assert record.prepare_state == INSERTED + 1
+
+
+class TestRetreatAdvance:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_retreat_insert_hides_it_from_prepare(self, backend):
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0)
+        state.apply_insert(EventId("a", 1), 1)
+        state.retreat(EventId("a", 1), is_insert=True)
+        assert state.prepare_length() == 1
+        assert state.effect_length() == 2
+        record = state.id_map[EventId("a", 1)]
+        assert record.prepare_state == NOT_YET_INSERTED
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_advance_restores_prepare_visibility(self, backend):
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0)
+        state.retreat(EventId("a", 0), is_insert=True)
+        state.advance(EventId("a", 0), is_insert=True)
+        assert state.prepare_length() == 1
+        assert state.id_map[EventId("a", 0)].prepare_state == INSERTED
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_retreat_delete_restores_prepare_visibility(self, backend):
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0)
+        state.apply_delete(EventId("b", 0), 0)
+        assert state.prepare_length() == 0
+        state.retreat(EventId("b", 0), is_insert=False)
+        assert state.prepare_length() == 1
+        # The effect version never un-deletes (s_e has no backwards moves).
+        assert state.effect_length() == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_figure5_state_machine(self, backend):
+        """Walk the s_p state machine of Figure 5: NIY <-> Ins <-> Del1 <-> Del2."""
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0)
+        record = state.id_map[EventId("a", 0)]
+        state.apply_delete(EventId("b", 0), 0)
+        assert record.prepare_state == 2  # Del 1
+        state.advance(EventId("b", 0), is_insert=False)
+        assert record.prepare_state == 3  # Del 2
+        state.retreat(EventId("b", 0), is_insert=False)
+        assert record.prepare_state == 2
+        state.retreat(EventId("b", 0), is_insert=False)
+        assert record.prepare_state == INSERTED
+        state.retreat(EventId("a", 0), is_insert=True)
+        assert record.prepare_state == NOT_YET_INSERTED
+
+
+class TestConcurrentInsertOrdering:
+    """Figure 1 / Lemma C.5: concurrent insertions integrate consistently."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_figure1_scenario(self, backend):
+        # Document "Helo"; user1 inserts "l" at 3, user2 inserts "!" at 4.
+        def build(order):
+            state = make_state(backend)
+            for i, char in enumerate("Helo"):
+                state.apply_insert(EventId("base", i), i)
+            positions = {}
+            if order == "l_first":
+                positions["l"] = state.apply_insert(EventId("user1", 0), 3)
+                state.retreat(EventId("user1", 0), is_insert=True)
+                positions["!"] = state.apply_insert(EventId("user2", 0), 4)
+            else:
+                positions["!"] = state.apply_insert(EventId("user2", 0), 4)
+                state.retreat(EventId("user2", 0), is_insert=True)
+                positions["l"] = state.apply_insert(EventId("user1", 0), 3)
+            sequence = [r.id for r in state.iter_records()]
+            return positions, sequence
+
+        pos_a, seq_a = build("l_first")
+        pos_b, seq_b = build("bang_first")
+        # Both replay orders produce the same internal ordering of records.
+        assert seq_a == seq_b
+        # And the transformed positions match Figure 1: the "!" lands at 5
+        # when applied after the "l", and the "l" stays at 3 either way.
+        assert pos_a["l"] == 3 and pos_a["!"] == 5
+        assert pos_b["!"] == 4 and pos_b["l"] == 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_concurrent_inserts_at_same_position_do_not_interleave_badly(self, backend):
+        state = make_state(backend)
+        # Two users concurrently type runs at position 0 of an empty document.
+        state.apply_insert(EventId("alice", 0), 0)
+        state.apply_insert(EventId("alice", 1), 1)
+        for eid in (EventId("alice", 1), EventId("alice", 0)):
+            state.retreat(eid, is_insert=True)
+        state.apply_insert(EventId("bob", 0), 0)
+        state.apply_insert(EventId("bob", 1), 1)
+        order = [r.id.agent for r in state.iter_records()]
+        # Each user's run stays contiguous (maximal non-interleaving).
+        assert order in (["alice", "alice", "bob", "bob"], ["bob", "bob", "alice", "alice"])
+
+
+class TestClear:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_clear_resets_to_placeholder(self, backend):
+        state = make_state(backend)
+        for i in range(4):
+            state.apply_insert(EventId("a", i), i)
+        state.clear(4)
+        assert state.id_map == {}
+        assert state.prepare_length() == 4
+        assert state.effect_length() == 4
+        assert state.record_count() == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_editing_after_clear_uses_placeholder(self, backend):
+        state = make_state(backend)
+        for i in range(4):
+            state.apply_insert(EventId("a", i), i)
+        state.clear(4)
+        assert state.apply_insert(EventId("b", 0), 2) == 2
+        assert state.apply_delete(EventId("b", 1), 0) == 0
+        assert state.effect_length() == 4

@@ -1,0 +1,142 @@
+"""Tests for the replication substrate: causal broadcast and the network simulator."""
+
+import random
+
+import pytest
+
+from repro.core.ids import EventId, insert_op
+from repro.core.oplog import RemoteEvent
+from repro.network import CausalBuffer, NetworkSimulator, full_mesh, star
+
+
+def remote_event(agent, seq, parents, pos, char):
+    return RemoteEvent(
+        id=EventId(agent, seq),
+        parents=tuple(parents),
+        op=insert_op(pos, char),
+    )
+
+
+class TestCausalBuffer:
+    def test_in_order_delivery(self):
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        e1 = remote_event("a", 0, [], 0, "x")
+        e2 = remote_event("a", 1, [e1.id], 1, "y")
+        assert buffer.receive(e1) == 1
+        assert buffer.receive(e2) == 1
+        assert [e.id for e in delivered] == [e1.id, e2.id]
+
+    def test_out_of_order_delivery_is_held_back(self):
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        e1 = remote_event("a", 0, [], 0, "x")
+        e2 = remote_event("a", 1, [e1.id], 1, "y")
+        e3 = remote_event("a", 2, [e2.id], 2, "z")
+        assert buffer.receive(e3) == 0
+        assert buffer.receive(e2) == 0
+        assert buffer.pending_count == 2
+        # The missing root arrives: everything cascades out in causal order.
+        assert buffer.receive(e1) == 3
+        assert [e.id.seq for e in delivered] == [0, 1, 2]
+        assert buffer.pending_count == 0
+
+    def test_duplicates_are_dropped(self):
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        e1 = remote_event("a", 0, [], 0, "x")
+        buffer.receive(e1)
+        buffer.receive(e1)
+        assert len(delivered) == 1
+        assert buffer.stats.duplicates == 1
+
+    def test_mark_known_suppresses_local_events(self):
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        e1 = remote_event("a", 0, [], 0, "x")
+        buffer.mark_known([e1.id])
+        e2 = remote_event("b", 0, [e1.id], 1, "y")
+        assert buffer.receive(e2) == 1
+        assert buffer.receive(e1) == 0  # already known
+
+    def test_stats_track_high_water_mark(self):
+        buffer = CausalBuffer(lambda event: None)
+        e1 = remote_event("a", 0, [], 0, "x")
+        e2 = remote_event("a", 1, [e1.id], 1, "y")
+        e3 = remote_event("a", 2, [e2.id], 2, "z")
+        buffer.receive(e3)
+        buffer.receive(e2)
+        assert buffer.stats.buffered_high_water == 2
+
+
+class TestNetworkSimulator:
+    def test_full_mesh_real_time_session_converges(self):
+        sim = full_mesh(["a", "b", "c"], latency=0.01)
+        rng = random.Random(1)
+        for _ in range(120):
+            replica = sim.replicas[rng.choice(["a", "b", "c"])]
+            if len(replica.text) == 0 or rng.random() < 0.7:
+                replica.insert(rng.randint(0, len(replica.text)), rng.choice("abc"))
+            else:
+                replica.delete(rng.randrange(len(replica.text)))
+            sim.advance(0.004)
+        sim.run_until_quiescent()
+        assert sim.converged()
+        texts = set(sim.all_texts().values())
+        assert len(texts) == 1 and len(texts.pop()) > 0
+
+    def test_star_topology_relays_through_hub(self):
+        sim = star("server", ["u1", "u2", "u3"], latency=0.01)
+        sim.replicas["u1"].insert(0, "hello from u1 ")
+        sim.replicas["u2"].insert(0, "hello from u2 ")
+        sim.run_until_quiescent()
+        assert sim.converged()
+        assert "hello from u1" in sim.replicas["u3"].text
+        assert "hello from u2" in sim.replicas["u3"].text
+
+    def test_offline_editing_and_reconnect(self):
+        sim = full_mesh(["alice", "bob"], latency=0.01)
+        alice = sim.replicas["alice"]
+        bob = sim.replicas["bob"]
+        alice.insert(0, "base ")
+        sim.run_until_quiescent()
+        bob.set_online(False)
+        bob.insert(len(bob.text), "offline work by bob. ")
+        alice.insert(len(alice.text), "online work by alice. ")
+        sim.run_until_quiescent()
+        # Neither side has seen the other's edits while bob is offline.
+        assert "offline work" not in alice.text
+        assert "online work" not in bob.text
+        bob.set_online(True)
+        sim.run_until_quiescent()
+        assert alice.text == bob.text
+        assert "offline work by bob." in alice.text
+        assert "online work by alice." in alice.text
+
+    def test_partition_and_heal(self):
+        sim = full_mesh(["x", "y"], latency=0.01)
+        sim.replicas["x"].insert(0, "shared ")
+        sim.run_until_quiescent()
+        sim.partition("x", "y")
+        sim.replicas["x"].insert(len(sim.replicas["x"].text), "from x ")
+        sim.replicas["y"].insert(len(sim.replicas["y"].text), "from y ")
+        sim.run_until_quiescent()
+        assert not sim.converged()
+        sim.heal("x", "y")
+        sim.run_until_quiescent()
+        assert sim.converged()
+        assert "from x" in sim.replicas["y"].text
+        assert "from y" in sim.replicas["x"].text
+
+    def test_duplicate_replica_name_rejected(self):
+        sim = NetworkSimulator()
+        sim.add_replica("a")
+        with pytest.raises(ValueError):
+            sim.add_replica("a")
+
+    def test_message_counters(self):
+        sim = full_mesh(["a", "b"], latency=0.01)
+        sim.replicas["a"].insert(0, "hi")
+        sim.run_until_quiescent()
+        assert sim.messages_sent == 2
+        assert sim.messages_delivered == 2

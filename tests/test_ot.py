@@ -1,0 +1,171 @@
+"""Tests for the OT baseline: IT transformation functions and the TTF replay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.event_graph import EventGraph
+from repro.core.ids import EventId, delete_op, insert_op
+from repro.core.walker import EgWalker
+from repro.ot import OTDocument, OtOp, replay_ot, transform, transform_against_many
+
+
+def ot_insert(pos, char, agent="a"):
+    return OtOp(insert_op(pos, char), agent)
+
+
+def ot_delete(pos, agent="a"):
+    return OtOp(delete_op(pos), agent)
+
+
+class TestTransformFunctions:
+    def test_insert_insert_independent_positions(self):
+        assert transform(ot_insert(1, "x"), ot_insert(5, "y")).op.pos == 1
+        assert transform(ot_insert(5, "x"), ot_insert(1, "y")).op.pos == 6
+
+    def test_insert_insert_tie_break_by_agent(self):
+        a = ot_insert(3, "x", agent="a")
+        b = ot_insert(3, "y", agent="b")
+        assert transform(a, b).op.pos == 3
+        assert transform(b, a).op.pos == 4
+
+    def test_insert_against_delete(self):
+        assert transform(ot_insert(2, "x"), ot_delete(5)).op.pos == 2
+        assert transform(ot_insert(5, "x"), ot_delete(2)).op.pos == 4
+        assert transform(ot_insert(2, "x"), ot_delete(2)).op.pos == 2
+
+    def test_delete_against_insert(self):
+        assert transform(ot_delete(2), ot_insert(5, "x")).op.pos == 2
+        assert transform(ot_delete(5), ot_insert(2, "x")).op.pos == 6
+        assert transform(ot_delete(2), ot_insert(2, "x")).op.pos == 3
+
+    def test_delete_delete_same_position_becomes_noop(self):
+        result = transform(ot_delete(4), ot_delete(4))
+        assert result.is_noop
+
+    def test_delete_delete_different_positions(self):
+        assert transform(ot_delete(2), ot_delete(5)).op.pos == 2
+        assert transform(ot_delete(5), ot_delete(2)).op.pos == 4
+
+    def test_noop_propagates(self):
+        noop = OtOp(None, "a")
+        assert transform(noop, ot_insert(0, "x")).is_noop
+        assert transform(ot_insert(0, "x"), noop).op.pos == 0
+
+    def test_transform_against_many(self):
+        op = ot_insert(5, "x")
+        others = [ot_insert(0, "a", "b"), ot_delete(1, "b"), ot_insert(9, "z", "b")]
+        result = transform_against_many(op, others)
+        assert result.op.pos == 5  # +1 for the insert at 0, -1 for the delete at 1
+
+    @given(
+        p1=st.integers(min_value=0, max_value=20),
+        p2=st.integers(min_value=0, max_value=20),
+        kind1=st.sampled_from(["i", "d"]),
+        kind2=st.sampled_from(["i", "d"]),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_tp1_convergence_property(self, p1, p2, kind1, kind2):
+        """TP1: applying (a, T(b,a)) and (b, T(a,b)) to the same document converges."""
+        doc = "abcdefghijklmnopqrst"
+        op_a = ot_insert(min(p1, len(doc)), "X", "a") if kind1 == "i" else ot_delete(min(p1, len(doc) - 1), "a")
+        op_b = ot_insert(min(p2, len(doc)), "Y", "b") if kind2 == "i" else ot_delete(min(p2, len(doc) - 1), "b")
+
+        def apply(text, ot_op):
+            if ot_op.is_noop:
+                return text
+            return ot_op.op.apply_to(text)
+
+        left = apply(apply(doc, op_a), transform(op_b, op_a))
+        right = apply(apply(doc, op_b), transform(op_a, op_b))
+        assert left == right
+
+
+class TestReplay:
+    def test_sequential_graph_needs_no_slow_path(self, small_sequential_trace):
+        result = replay_ot(small_sequential_trace.graph)
+        assert result.concurrent_events == 0
+        assert result.text == EgWalker(small_sequential_trace.graph).replay_text()
+
+    def test_figure2(self, figure2_graph):
+        assert replay_ot(figure2_graph).text == "Hello!"
+
+    def test_figure4(self, figure4_graph):
+        assert replay_ot(figure4_graph).text == "Hey!"
+
+    def test_two_branch_merge_matches_walker(self):
+        graph = EventGraph()
+        for i, char in enumerate("merge basis "):
+            graph.add_local_event("base", insert_op(i, char))
+        fork = graph.frontier
+        prev = fork
+        for seq, char in enumerate("AAA"):
+            event = graph.add_event(
+                EventId("alice", seq), prev, insert_op(0 + seq, char), parents_are_indices=True
+            )
+            prev = (event.index,)
+        prev = fork
+        for seq in range(3):
+            event = graph.add_event(
+                EventId("bob", seq), prev, delete_op(4), parents_are_indices=True
+            )
+            prev = (event.index,)
+        assert replay_ot(graph).text == EgWalker(graph).replay_text()
+
+    def test_surviving_characters_match_walker_on_concurrent_trace(
+        self, small_concurrent_trace
+    ):
+        """OT and Eg-walker may interleave concurrent runs differently, but on
+        real-time two-user traces they must agree on *which* characters survive."""
+        trace = small_concurrent_trace
+        ot_text = replay_ot(trace.graph).text
+        eg_text = EgWalker(trace.graph).replay_text()
+        assert len(ot_text) == len(eg_text)
+        assert sorted(ot_text) == sorted(eg_text)
+
+    def test_async_trace_documents_have_equal_length(self, small_async_trace):
+        """On long-running branches the two algorithms may resolve an index
+        against differently-ordered concurrent runs, so individual deletions can
+        target different characters; the documents still have the same shape.
+        (This is the well-known intention-preservation gap between classic OT
+        and CRDT interleaving rules, not a convergence bug — each algorithm is
+        internally consistent, see §5 of the paper.)"""
+        trace = small_async_trace
+        ot_text = replay_ot(trace.graph).text
+        eg_text = EgWalker(trace.graph).replay_text()
+        assert len(ot_text) == len(eg_text)
+        differing = sum(1 for a, b in zip(sorted(ot_text), sorted(eg_text)) if a != b)
+        assert differing <= max(5, len(eg_text) // 20)
+
+    def test_concurrent_traces_report_quadratic_work(self, small_concurrent_trace):
+        result = replay_ot(small_concurrent_trace.graph)
+        assert result.concurrent_events > 0
+        assert result.work_units > len(small_concurrent_trace.graph)
+
+    def test_document_wrapper(self, figure2_graph):
+        document = OTDocument()
+        assert document.merge_event_graph(figure2_graph) == "Hello!"
+        assert document.steady_state_objects() == 1
+
+
+class TestWorkScaling:
+    def test_ot_work_grows_quadratically_with_branch_length(self):
+        """Merging two branches of k events each costs Θ(k²) work units (§1, §3.7)."""
+
+        def two_branches(k: int) -> EventGraph:
+            graph = EventGraph()
+            graph.add_local_event("base", insert_op(0, "x"))
+            fork = graph.frontier
+            for agent in ("alice", "bob"):
+                prev = fork
+                for seq in range(k):
+                    event = graph.add_event(
+                        EventId(agent, seq), prev, insert_op(1 + seq, "y"),
+                        parents_are_indices=True,
+                    )
+                    prev = (event.index,)
+            return graph
+
+        small = replay_ot(two_branches(30)).work_units
+        large = replay_ot(two_branches(120)).work_units
+        # 4x the events should cost roughly 16x the work; allow generous slack.
+        assert large > small * 8

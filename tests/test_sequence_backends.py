@@ -1,0 +1,229 @@
+"""Differential and unit tests for the internal-state sequence backends (§3.3–3.4).
+
+``ListSequence`` (flat list, linear scans) and ``TreeSequence`` (counted
+B+-tree) implement the same contract; every operation applied to both must
+leave them observably identical.  The random workloads below drive both
+backends through inserts, placeholder splits and visibility changes and
+compare the full item sequences after every step.
+"""
+
+import random
+
+import pytest
+
+from repro.core.ids import EventId
+from repro.core.order_statistic_tree import MAX_NODE_SIZE, TreeSequence
+from repro.core.records import INSERTED, CrdtRecord, PlaceholderPiece
+from repro.core.sequence import Cursor, ListSequence
+
+
+def make_record(agent: str, seq: int, prepare_state: int = INSERTED, deleted: bool = False):
+    return CrdtRecord(
+        id=EventId(agent, seq), prepare_state=prepare_state, ever_deleted=deleted
+    )
+
+
+def snapshot(backend):
+    """Observable state of a backend: per-item kind, id/base, states, lengths."""
+    items = []
+    for item in backend.iter_items():
+        if isinstance(item, PlaceholderPiece):
+            items.append(("ph", item.base, item.length))
+        else:
+            items.append(("rec", item.id, item.prepare_state, item.ever_deleted))
+    return items, backend.total_units(), backend.prepare_length(), backend.effect_length()
+
+
+class TestEmptyBackends:
+    @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
+    def test_empty_lengths(self, backend_cls):
+        backend = backend_cls(0)
+        assert backend.total_units() == 0
+        assert backend.prepare_length() == 0
+        assert backend.effect_length() == 0
+        assert list(backend.iter_items()) == []
+
+    @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
+    def test_insert_into_empty(self, backend_cls):
+        backend = backend_cls(0)
+        cursor = backend.find_insert_cursor(0)
+        assert cursor.at_end
+        record = make_record("a", 0)
+        backend.insert_record_at_cursor(cursor, record)
+        assert backend.prepare_length() == 1
+        assert backend.effect_position_of_item(record) == 0
+
+    @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
+    def test_insert_beyond_length_raises(self, backend_cls):
+        backend = backend_cls(0)
+        with pytest.raises(IndexError):
+            backend.find_insert_cursor(1)
+
+    @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
+    def test_find_visible_unit_on_empty_raises(self, backend_cls):
+        backend = backend_cls(0)
+        with pytest.raises(IndexError):
+            backend.find_visible_unit(0)
+
+
+class TestPlaceholders:
+    @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
+    def test_initial_placeholder_counts(self, backend_cls):
+        backend = backend_cls(10)
+        assert backend.total_units() == 10
+        assert backend.prepare_length() == 10
+        assert backend.effect_length() == 10
+
+    @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
+    def test_insert_mid_placeholder_splits(self, backend_cls):
+        backend = backend_cls(10)
+        cursor = backend.find_insert_cursor(4)
+        record = make_record("a", 0)
+        backend.insert_record_at_cursor(cursor, record)
+        kinds = [type(item).__name__ for item in backend.iter_items()]
+        assert kinds == ["PlaceholderPiece", "CrdtRecord", "PlaceholderPiece"]
+        assert backend.total_units() == 11
+        assert backend.effect_position_of_item(record) == 4
+
+    @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
+    def test_origin_refs_inside_placeholder(self, backend_cls):
+        backend = backend_cls(10)
+        cursor = backend.find_insert_cursor(4)
+        left = backend.origin_left_of_cursor(cursor)
+        right = backend.next_existing_in_prepare(cursor)
+        assert left == ("ph", 3)
+        assert right == ("ph", 4)
+        assert backend.unit_position_of_ref(left) == 3
+        assert backend.unit_position_of_ref(right) == 4
+
+    @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
+    def test_convert_placeholder_unit_for_delete(self, backend_cls):
+        backend = backend_cls(10)
+        item, offset = backend.find_visible_unit(6)
+        assert isinstance(item, PlaceholderPiece) and offset == 6
+        record = make_record("__placeholder__", 0, prepare_state=2, deleted=True)
+        backend.convert_placeholder_unit(item, offset, record)
+        assert backend.total_units() == 10
+        assert backend.prepare_length() == 9
+        assert backend.effect_length() == 9
+        # The reference to the converted unit resolves to the carved record.
+        assert backend.unit_position_of_ref(("ph", 6)) == 6
+
+    @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
+    def test_placeholder_ref_positions_shift_with_insertions(self, backend_cls):
+        backend = backend_cls(5)
+        cursor = backend.find_insert_cursor(0)
+        backend.insert_record_at_cursor(cursor, make_record("a", 0))
+        # Original placeholder offset 2 is now at unit position 3.
+        assert backend.unit_position_of_ref(("ph", 2)) == 3
+
+
+class TestVisibilityCounters:
+    @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
+    def test_update_item_counts(self, backend_cls):
+        backend = backend_cls(0)
+        records = []
+        for i in range(5):
+            cursor = backend.find_insert_cursor(i)
+            record = make_record("a", i)
+            backend.insert_record_at_cursor(cursor, record)
+            records.append(record)
+        # Mark the middle record deleted in both versions.
+        target = records[2]
+        target.prepare_state = 2
+        target.ever_deleted = True
+        backend.update_item_counts(target, -1, -1)
+        assert backend.prepare_length() == 4
+        assert backend.effect_length() == 4
+        assert backend.effect_position_of_item(records[3]) == 2
+        item, _ = backend.find_visible_unit(2)
+        assert item is records[3]
+
+
+class TestTreeStructure:
+    def test_leaf_splits_keep_back_pointers(self):
+        backend = TreeSequence(0)
+        records = []
+        for i in range(MAX_NODE_SIZE * 4):
+            cursor = backend.find_insert_cursor(i)
+            record = make_record("a", i)
+            backend.insert_record_at_cursor(cursor, record)
+            records.append(record)
+        for i, record in enumerate(records):
+            assert record.leaf is not None
+            assert backend.effect_position_of_item(record) == i
+
+    def test_memory_items_counter(self):
+        backend = TreeSequence(8)
+        assert backend.memory_items() == 1
+        cursor = backend.find_insert_cursor(3)
+        backend.insert_record_at_cursor(cursor, make_record("a", 0))
+        assert backend.memory_items() == 3  # left piece + record + right piece
+
+
+class TestDifferentialRandomWorkload:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_backends_stay_identical(self, seed):
+        rng = random.Random(seed)
+        placeholder = rng.choice([0, 0, 7, 20])
+        list_backend = ListSequence(placeholder)
+        tree_backend = TreeSequence(placeholder)
+        next_seq = 0
+        records_list: list[CrdtRecord] = []
+        records_tree: list[CrdtRecord] = []
+
+        for step in range(120):
+            action = rng.random()
+            prep_len = list_backend.prepare_length()
+            if action < 0.55 or prep_len == 0:
+                pos = rng.randint(0, prep_len)
+                rec_a = make_record("a", next_seq)
+                rec_b = make_record("a", next_seq)
+                next_seq += 1
+                list_backend.insert_record_at_cursor(
+                    list_backend.find_insert_cursor(pos), rec_a
+                )
+                tree_backend.insert_record_at_cursor(
+                    tree_backend.find_insert_cursor(pos), rec_b
+                )
+                records_list.append(rec_a)
+                records_tree.append(rec_b)
+            elif action < 0.8:
+                # Delete the character at a visible position in both backends.
+                pos = rng.randrange(prep_len)
+                item_a, off_a = list_backend.find_visible_unit(pos)
+                item_b, off_b = tree_backend.find_visible_unit(pos)
+                assert isinstance(item_a, PlaceholderPiece) == isinstance(
+                    item_b, PlaceholderPiece
+                )
+                if isinstance(item_a, PlaceholderPiece):
+                    rec_a = make_record("__placeholder__", 1000 + step, 2, True)
+                    rec_b = make_record("__placeholder__", 1000 + step, 2, True)
+                    list_backend.convert_placeholder_unit(item_a, off_a, rec_a)
+                    tree_backend.convert_placeholder_unit(item_b, off_b, rec_b)
+                else:
+                    for item, backend in ((item_a, list_backend), (item_b, tree_backend)):
+                        item.prepare_state += 1
+                        d_eff = -1 if not item.ever_deleted else 0
+                        item.ever_deleted = True
+                        backend.update_item_counts(item, -1, d_eff)
+            else:
+                # Toggle the prepare-visibility of a random earlier record.
+                if records_list:
+                    i = rng.randrange(len(records_list))
+                    rec_a, rec_b = records_list[i], records_tree[i]
+                    if rec_a.prepare_state == INSERTED:
+                        rec_a.prepare_state = rec_b.prepare_state = 0
+                        delta = -1
+                    elif rec_a.prepare_state == 0:
+                        rec_a.prepare_state = rec_b.prepare_state = INSERTED
+                        delta = +1
+                    else:
+                        continue
+                    list_backend.update_item_counts(rec_a, delta, 0)
+                    tree_backend.update_item_counts(rec_b, delta, 0)
+
+            items_a, total_a, prep_a, eff_a = snapshot(list_backend)
+            items_b, total_b, prep_b, eff_b = snapshot(tree_backend)
+            assert (total_a, prep_a, eff_a) == (total_b, prep_b, eff_b)
+            assert items_a == items_b

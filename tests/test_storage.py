@@ -1,0 +1,208 @@
+"""Tests for the storage layer: varints, compression, columnar encoding, snapshots."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.event_graph import EventGraph
+from repro.core.ids import EventId, delete_op, insert_op
+from repro.core.walker import EgWalker
+from repro.storage import (
+    EncodeOptions,
+    Snapshot,
+    compress,
+    decode_event_graph,
+    decode_snapshot,
+    decode_svarint,
+    decode_uvarint,
+    decompress,
+    encode_event_graph,
+    encode_snapshot,
+    encode_svarint,
+    encode_uvarint,
+)
+from repro.storage.varint import ByteReader, ByteWriter
+
+
+class TestVarints:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 255, 300, 2**14, 2**21, 2**40])
+    def test_uvarint_round_trip(self, value):
+        encoded = encode_uvarint(value)
+        decoded, offset = decode_uvarint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_small_values_use_one_byte(self):
+        assert len(encode_uvarint(0)) == 1
+        assert len(encode_uvarint(127)) == 1
+        assert len(encode_uvarint(128)) == 2
+
+    def test_negative_uvarint_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_truncated_varint_rejected(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80")
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 63, -64, 1000, -1000, 2**30, -(2**30)])
+    def test_svarint_round_trip(self, value):
+        decoded, _ = decode_svarint(encode_svarint(value))
+        assert decoded == value
+
+    @given(st.integers(min_value=0, max_value=2**60))
+    @settings(max_examples=200, deadline=None)
+    def test_uvarint_property(self, value):
+        decoded, _ = decode_uvarint(encode_uvarint(value))
+        assert decoded == value
+
+    @given(st.integers(min_value=-(2**60), max_value=2**60))
+    @settings(max_examples=200, deadline=None)
+    def test_svarint_property(self, value):
+        decoded, _ = decode_svarint(encode_svarint(value))
+        assert decoded == value
+
+    def test_byte_writer_reader(self):
+        writer = ByteWriter()
+        writer.write_uvarint(42)
+        writer.write_svarint(-7)
+        writer.write_string("héllo")
+        writer.write_length_prefixed(b"\x00\x01")
+        reader = ByteReader(writer.getvalue())
+        assert reader.read_uvarint() == 42
+        assert reader.read_svarint() == -7
+        assert reader.read_string() == "héllo"
+        assert reader.read_length_prefixed() == b"\x00\x01"
+        assert reader.at_end()
+
+
+class TestCompression:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"hello world",
+            b"abcabcabcabcabcabcabcabc",
+            b"the quick brown fox jumps over the lazy dog " * 50,
+            bytes(range(256)) * 3,
+        ],
+    )
+    def test_round_trip(self, data):
+        assert decompress(compress(data)) == data
+
+    def test_repetitive_data_compresses(self):
+        data = b"collaborative text editing " * 200
+        assert len(compress(data)) < len(data) / 3
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, data):
+        assert decompress(compress(data)) == data
+
+    def test_corrupt_stream_rejected(self):
+        data = compress(b"hello hello hello hello hello")
+        with pytest.raises(ValueError):
+            decompress(data[: len(data) // 2] + b"\xff\xff\xff\xff")
+
+
+class TestEventGraphEncoding:
+    def _round_trip(self, graph: EventGraph, options: EncodeOptions | None = None) -> EventGraph:
+        data = encode_event_graph(graph, options)
+        return decode_event_graph(data).graph
+
+    @pytest.mark.parametrize(
+        "trace_fixture",
+        ["small_sequential_trace", "small_concurrent_trace", "small_async_trace"],
+    )
+    def test_round_trip_preserves_everything(self, trace_fixture, request):
+        graph = request.getfixturevalue(trace_fixture).graph
+        decoded = self._round_trip(graph)
+        assert len(decoded) == len(graph)
+        for original, restored in zip(graph.events(), decoded.events()):
+            assert original.id == restored.id
+            assert original.parents == restored.parents
+            assert original.op == restored.op
+
+    def test_round_trip_replays_identically(self, figure4_graph):
+        decoded = self._round_trip(figure4_graph)
+        assert EgWalker(decoded).replay_text() == EgWalker(figure4_graph).replay_text()
+
+    def test_compressed_content_round_trip(self, small_sequential_trace):
+        graph = small_sequential_trace.graph
+        decoded = self._round_trip(graph, EncodeOptions(compress_content=True))
+        assert EgWalker(decoded).replay_text() == EgWalker(graph).replay_text()
+
+    def test_snapshot_column(self, small_sequential_trace):
+        graph = small_sequential_trace.graph
+        text = EgWalker(graph).replay_text()
+        data = encode_event_graph(
+            graph, EncodeOptions(include_snapshot=True, final_text=text)
+        )
+        decoded = decode_event_graph(data)
+        assert decoded.snapshot == text
+
+    def test_snapshot_requires_text(self, figure2_graph):
+        with pytest.raises(ValueError):
+            encode_event_graph(figure2_graph, EncodeOptions(include_snapshot=True))
+
+    def test_pruned_encoding_drops_deleted_text_but_keeps_structure(
+        self, small_sequential_trace
+    ):
+        graph = small_sequential_trace.graph
+        full = encode_event_graph(graph)
+        pruned = encode_event_graph(graph, EncodeOptions(prune_deleted_content=True))
+        assert len(pruned) < len(full)
+        decoded = decode_event_graph(pruned)
+        assert decoded.pruned
+        assert len(decoded.graph) == len(graph)
+        # Surviving characters are restored; the final document matches.
+        assert EgWalker(decoded.graph).replay_text() == EgWalker(graph).replay_text()
+
+    def test_sequential_trace_encodes_compactly(self, small_sequential_trace):
+        graph = small_sequential_trace.graph
+        data = encode_event_graph(graph)
+        inserted = sum(1 for e in graph.events() if e.op.is_insert)
+        # Run-length encoding should bring the overhead well under 4 bytes/event.
+        assert len(data) < inserted + 4 * len(graph)
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_event_graph(b"NOPE" + b"\x00" * 20)
+
+    def test_empty_graph_round_trip(self):
+        graph = EventGraph()
+        decoded = self._round_trip(graph)
+        assert len(decoded) == 0
+
+
+class TestSnapshots:
+    def test_snapshot_round_trip(self):
+        snapshot = Snapshot(text="hello wörld", version=(EventId("a", 3), EventId("b", 7)))
+        decoded = decode_snapshot(encode_snapshot(snapshot))
+        assert decoded == snapshot
+
+    def test_empty_snapshot(self):
+        snapshot = Snapshot(text="", version=())
+        assert decode_snapshot(encode_snapshot(snapshot)) == snapshot
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_snapshot(b"XXXXwhatever")
+
+
+class TestEncodingProperty:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 30), st.sampled_from("abcXYZ ")), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_random_linear_graph_round_trip(self, edits):
+        graph = EventGraph()
+        length = 0
+        for is_delete, pos_seed, char in edits:
+            if is_delete and length > 0:
+                graph.add_local_event("agent", delete_op(pos_seed % length))
+                length -= 1
+            else:
+                graph.add_local_event("agent", insert_op(pos_seed % (length + 1), char))
+                length += 1
+        decoded = decode_event_graph(encode_event_graph(graph)).graph
+        assert len(decoded) == len(graph)
+        assert EgWalker(decoded).replay_text() == EgWalker(graph).replay_text()
