@@ -50,6 +50,17 @@ def test_memory_while_merging(benchmark, trace, algorithm):
     benchmark.extra_info["peak_kib"] = round(measurement.peak_bytes / 1024, 1)
     benchmark.extra_info["steady_kib"] = round(measurement.retained_bytes / 1024, 1)
     benchmark.extra_info["text_kib"] = round(len(outcome.text.encode()) / 1024, 1)
+    # Run-length-encoding accounting: how many run events / span records the
+    # replay touched vs. the per-character counts the seed implementation paid.
+    benchmark.extra_info["char_events"] = trace.graph.num_chars
+    benchmark.extra_info["run_events"] = len(trace.graph)
+    if algorithm == "eg-walker":
+        stats = adapter.last_stats
+        assert stats is not None
+        benchmark.extra_info["peak_span_records"] = stats.peak_records
+        benchmark.extra_info["peak_span_record_chars"] = stats.peak_record_chars
+        benchmark.extra_info["fast_path_run_events"] = stats.events_fast_path
+        benchmark.extra_info["fast_path_chars"] = stats.chars_fast_path
 
     assert measurement.peak_bytes >= measurement.retained_bytes
     if algorithm in ("eg-walker", "ot"):

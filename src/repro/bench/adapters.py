@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..core.walker import EgWalker
+from ..core.walker import EgWalker, WalkerStats
 from ..crdt.automerge_like import AutomergeLikeDocument
 from ..crdt.ref_crdt import RefCRDTDocument
 from ..crdt.yjs_like import YjsLikeDocument
@@ -85,6 +85,9 @@ class EgWalkerAdapter(AlgorithmAdapter):
         self.enable_clearing = enable_clearing
         self.sort_strategy = sort_strategy
         self.cache_final_doc = cache_final_doc
+        #: Stats of the most recent merge (run/char event counts, peak span
+        #: records) — lets the benchmarks report the RLE win per trace.
+        self.last_stats: WalkerStats | None = None
 
     def merge(self, trace: Trace) -> MergeOutcome:
         walker = EgWalker(
@@ -94,6 +97,7 @@ class EgWalkerAdapter(AlgorithmAdapter):
             sort_strategy=self.sort_strategy,
         )
         text = walker.replay_text()
+        self.last_stats = walker.last_stats
         # The walker's internal state is transient; only the text is retained.
         return MergeOutcome(text=text, retained=text)
 

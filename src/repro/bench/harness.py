@@ -135,15 +135,20 @@ def run_memory(
             # For Eg-walker and OT that is the text; for the CRDTs it is the
             # whole document object (the `retained` field keeps it alive while
             # tracemalloc takes the final reading above).
-            rows.append(
-                {
-                    "trace": name,
-                    "algorithm": adapter.name,
-                    "peak_kib": round(measurement.peak_bytes / 1024, 1),
-                    "steady_kib": round(measurement.retained_bytes / 1024, 1),
-                    "text_kib": round(len(outcome.text.encode("utf-8")) / 1024, 1),
-                }
-            )
+            row = {
+                "trace": name,
+                "algorithm": adapter.name,
+                "peak_kib": round(measurement.peak_bytes / 1024, 1),
+                "steady_kib": round(measurement.retained_bytes / 1024, 1),
+                "text_kib": round(len(outcome.text.encode("utf-8")) / 1024, 1),
+                "char_events": trace.graph.num_chars,
+                "run_events": len(trace.graph),
+            }
+            stats = getattr(adapter, "last_stats", None)
+            if stats is not None:
+                row["peak_span_records"] = stats.peak_records
+                row["peak_span_record_chars"] = stats.peak_record_chars
+            rows.append(row)
     return rows
 
 
@@ -158,7 +163,7 @@ def run_file_size_full(traces: dict[str, Trace] | None = None) -> list[dict[str,
     automerge = AutomergeLikeAdapter()
     for name, trace in _traces(traces).items():
         outcome = EgWalkerAdapter().merge(trace)
-        inserted_chars = sum(1 for e in trace.graph.events() if e.op.is_insert)
+        inserted_chars = sum(e.op.length for e in trace.graph.events() if e.op.is_insert)
         eg_plain = EgWalkerAdapter(cache_final_doc=False).save(trace, outcome)
         eg_cached = EgWalkerAdapter(cache_final_doc=True).save(trace, outcome)
         am_outcome = automerge.merge(trace)

@@ -159,10 +159,12 @@ class Document:
         order = sort_branch_aware(graph, old_range) + sort_branch_aware(graph, new_events)
 
         # The placeholder must be at least as long as the document was at the
-        # base version; the current length plus every deletion replayed on the
-        # old side is a safe upper bound (over-length placeholders are
-        # harmless, see InternalState.clear).
-        deletes_in_old_range = sum(1 for idx in old_range if graph[idx].op.is_delete)
+        # base version; the current length plus every deleted character
+        # replayed on the old side is a safe upper bound (over-length
+        # placeholders are harmless, see InternalState.clear).
+        deletes_in_old_range = sum(
+            graph[idx].op.length for idx in old_range if graph[idx].op.is_delete
+        )
         base_doc_length = len(self.rope) + deletes_in_old_range
 
         walker = self._make_walker()
@@ -176,12 +178,10 @@ class Document:
 
         applied: list[Operation] = []
         for entry in result.transformed:
-            op = entry.op
-            if op is None:
-                continue
-            if op.is_insert:
-                self.rope.insert(op.pos, op.content)
-            else:
-                self.rope.delete(op.pos, op.length)
-            applied.append(op)
+            for op in entry.ops:
+                if op.is_insert:
+                    self.rope.insert(op.pos, op.content)
+                else:
+                    self.rope.delete(op.pos, op.length)
+                applied.append(op)
         return applied

@@ -1,27 +1,40 @@
-"""The event graph: an append-only DAG of editing events (paper §2.2).
+"""The event graph: an append-only DAG of editing events (paper §2.2, §4).
 
 Every replica stores the full editing history of a document as a directed
-acyclic graph.  Each node is an :class:`Event` holding a single-character
-insert or delete operation, a globally unique :class:`~repro.core.ids.EventId`
-and the set of ids of its parent events.  The graph is transitively reduced by
-construction: a new event's parents are always the frontier of the graph as
-the generating replica saw it.
+acyclic graph.  Each node is an :class:`Event` holding an insert or delete
+**run** (one or more consecutive characters — the native unit of the whole
+pipeline, matching the paper's run-length encoded storage and replay), a
+globally unique :class:`~repro.core.ids.EventId` naming the run's first
+character, and the set of ids of its parent events.  Character ``k`` of a run
+event has id ``event.id.advance(k)`` and is addressable locally as
+``(event_index, offset)``.  The graph is transitively reduced by construction:
+a new event's parents are always the frontier of the graph as the generating
+replica saw it.
+
+Runs are atomic: they are created whole by :class:`~repro.core.oplog.OpLog`,
+so no event can causally depend on a strict prefix of another run — a parent
+reference to *any* character of a run is a dependency on the whole run.
 
 Locally, events are stored in an append-only list.  Because an event can only
 be added once all of its parents are present, the list order is always a valid
 topological order, and most algorithms in this package address events by their
 integer index in that list (the *local index*).  Versions (frontiers) are
 represented as sorted tuples of local indices.
+
+:func:`expand_to_chars` converts a run graph into the equivalent
+one-event-per-character graph — the representation the paper uses for
+presentation, kept here as a correctness oracle for the run-length pipeline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-from .ids import EventId, Operation, OpKind
+from .ids import EventId, Operation
+from .range_map import RangeIndex
 
-__all__ = ["Event", "EventGraph", "Version", "ROOT_VERSION"]
+__all__ = ["Event", "EventGraph", "Version", "ROOT_VERSION", "expand_to_chars"]
 
 #: A version (frontier) is a sorted tuple of local event indices.  The empty
 #: tuple is the root version: the state of the document before any events.
@@ -32,15 +45,16 @@ ROOT_VERSION: Version = ()
 
 @dataclass(slots=True)
 class Event:
-    """A single editing event in the graph.
+    """A single run event in the graph.
 
     Attributes:
         index: local index of this event in the owning graph.
-        id: globally unique ``(agent, seq)`` identifier.
+        id: globally unique ``(agent, seq)`` identifier of the run's first
+            character; the run covers seqs ``id.seq .. id.seq + op.length - 1``.
         parents: local indices of this event's parent events (sorted).  The
             empty tuple means the event has no parents (it was generated
             against the empty document).
-        op: the single-character operation this event performs.
+        op: the run operation this event performs.
     """
 
     index: int
@@ -48,9 +62,25 @@ class Event:
     parents: Version
     op: Operation
 
+    @property
+    def num_chars(self) -> int:
+        """Number of characters this event covers."""
+        return self.op.length
+
+    @property
+    def end_seq(self) -> int:
+        """One past the seq of the run's last character."""
+        return self.id.seq + self.op.length
+
+    def id_at(self, offset: int) -> EventId:
+        """Id of the ``offset``-th character of this run."""
+        if offset < 0 or offset >= self.op.length:
+            raise IndexError(f"offset {offset} out of range for event {self.index}")
+        return self.id.advance(offset)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "ins" if self.op.is_insert else "del"
-        payload = repr(self.op.content) if self.op.is_insert else ""
+        payload = repr(self.op.content) if self.op.is_insert else f"x{self.op.length}"
         return (
             f"Event({self.index}, {self.id.agent}:{self.id.seq}, "
             f"parents={list(self.parents)}, {kind}@{self.op.pos}{payload})"
@@ -58,20 +88,27 @@ class Event:
 
 
 class EventGraph:
-    """Append-only store of events plus the id <-> index mapping.
+    """Append-only store of run events plus the id <-> index range mapping.
 
     The graph grows monotonically; events are never removed and an existing
     event's parents never change (paper §2.2).  Two replicas merge their
     graphs by taking the union of their event sets, which here is implemented
     by :meth:`add_remote_event` / :meth:`merge_from`.
+
+    The id mapping is a *range map*: per agent, a sorted list of run start
+    seqs, so that any character id resolves to ``(event_index, offset)`` in
+    O(log runs) with O(runs) memory — not O(chars).
     """
 
     def __init__(self) -> None:
         self._events: list[Event] = []
-        self._index_of: dict[EventId, int] = {}
+        #: Per-agent range map: run-start seq -> run event (shared RangeIndex
+        #: machinery with the internal-state record index).
+        self._agent_index: dict[str, RangeIndex[Event]] = {}
         self._children: list[list[int]] = []
         self._frontier: list[int] = []
         self._next_seq: dict[str, int] = {}
+        self._num_chars = 0
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -89,18 +126,45 @@ class EventGraph:
         """All events in local (topological) order."""
         return self._events
 
-    def contains_id(self, event_id: EventId) -> bool:
-        return event_id in self._index_of
+    @property
+    def num_chars(self) -> int:
+        """Total number of characters across all run events."""
+        return self._num_chars
 
-    def index_of(self, event_id: EventId) -> int:
-        """Local index of the event with the given id.
+    def contains_id(self, event_id: EventId) -> bool:
+        return self._locate(event_id) is not None
+
+    def locate(self, event_id: EventId) -> tuple[int, int]:
+        """Resolve a character id to ``(event_index, offset)``.
 
         Raises:
-            KeyError: if the event is not (yet) in this graph.
+            KeyError: if no run in this graph covers the id.
         """
-        return self._index_of[event_id]
+        found = self._locate(event_id)
+        if found is None:
+            raise KeyError(f"event id {event_id} not in graph")
+        return found
+
+    def index_of(self, event_id: EventId) -> int:
+        """Local index of the event whose run covers the given id.
+
+        Raises:
+            KeyError: if the id is not (yet) covered by this graph.
+        """
+        return self.locate(event_id)[0]
+
+    def _locate(self, event_id: EventId) -> tuple[int, int] | None:
+        index = self._agent_index.get(event_id.agent)
+        if index is None:
+            return None
+        found = index.find(event_id.seq)
+        if found is None:
+            return None
+        event, offset = found
+        return event.index, offset
 
     def id_of(self, index: int) -> EventId:
+        """Id of the first character of the event at ``index``."""
         return self._events[index].id
 
     def parents_of(self, index: int) -> Version:
@@ -129,31 +193,33 @@ class EventGraph:
         *,
         parents_are_indices: bool = False,
     ) -> Event:
-        """Add a single-character event to the graph.
+        """Add a run event to the graph.
 
         Args:
-            event_id: the globally unique id of the new event.  Must not
-                already be present.
-            parents: parent events, either as :class:`EventId` values or as
-                local indices (set ``parents_are_indices``).  All parents must
-                already be in the graph (causal delivery is the caller's
-                responsibility — see :mod:`repro.network.causal_broadcast`).
-            op: a single-character insert or delete operation.
+            event_id: the globally unique id of the run's first character.
+                The run's whole id span must be fresh.
+            parents: parent events, either as :class:`EventId` values (any
+                character of the parent run identifies it — runs are atomic)
+                or as local indices (set ``parents_are_indices``).  All
+                parents must already be in the graph (causal delivery is the
+                caller's responsibility — see
+                :mod:`repro.network.causal_broadcast`).
+            op: an insert or delete run operation (length >= 1).
 
         Returns:
             The newly created :class:`Event`.
         """
-        if op.length != 1:
-            raise ValueError(
-                "the event graph stores one event per character; expand "
-                "multi-character operations before adding them"
-            )
-        if event_id in self._index_of:
-            raise ValueError(f"duplicate event id {event_id}")
+        agent_index = self._agent_index.get(event_id.agent)
+        if self._locate(event_id) is not None or (
+            agent_index is not None
+            and agent_index.next_start_in(event_id.seq, event_id.seq + op.length)
+            is not None
+        ):
+            raise ValueError(f"duplicate event id span {event_id}+{op.length}")
         if parents_are_indices:
             parent_indices = sorted(int(p) for p in parents)
         else:
-            parent_indices = sorted(self._index_of[p] for p in parents)  # type: ignore[index]
+            parent_indices = sorted({self.index_of(p) for p in parents})  # type: ignore[arg-type]
         index = len(self._events)
         for p in parent_indices:
             if p < 0 or p >= index:
@@ -161,7 +227,10 @@ class EventGraph:
         event = Event(index=index, id=event_id, parents=tuple(parent_indices), op=op)
         self._events.append(event)
         self._children.append([])
-        self._index_of[event_id] = index
+        if agent_index is None:
+            agent_index = self._agent_index[event_id.agent] = RangeIndex(_event_length)
+        agent_index.register(event_id.seq, event)
+        self._num_chars += op.length
         for p in parent_indices:
             self._children[p].append(index)
         # Maintain the frontier incrementally: the new event replaces any of
@@ -171,15 +240,15 @@ class EventGraph:
         self._frontier = [f for f in self._frontier if f not in parent_set]
         self._frontier.append(index)
         expected = self._next_seq.get(event_id.agent, 0)
-        if event_id.seq >= expected:
-            self._next_seq[event_id.agent] = event_id.seq + 1
+        if event_id.seq + op.length > expected:
+            self._next_seq[event_id.agent] = event_id.seq + op.length
         return event
 
     def add_local_event(self, agent: str, op: Operation) -> Event:
-        """Add an event generated locally by ``agent``.
+        """Add a run event generated locally by ``agent``.
 
         The new event's parents are the current frontier and its sequence
-        number is allocated automatically.
+        numbers (one per character) are allocated automatically.
         """
         event_id = EventId(agent, self.next_seq_for(agent))
         return self.add_event(event_id, self.frontier, op, parents_are_indices=True)
@@ -187,15 +256,24 @@ class EventGraph:
     def add_remote_event(
         self, event_id: EventId, parent_ids: Iterable[EventId], op: Operation
     ) -> Event | None:
-        """Add an event received from another replica.
+        """Add a run event received from another replica.
 
         Returns ``None`` (and ignores the event) if it is already present,
-        which makes delivery idempotent.  Raises :class:`KeyError` if any
-        parent is missing; the replication layer is expected to hold such
+        which makes delivery idempotent.  A run that only *partially* overlaps
+        an existing run is not a redelivery but a protocol violation (runs are
+        atomic) and raises :class:`ValueError`.  Raises :class:`KeyError` if
+        any parent is missing; the replication layer is expected to hold such
         events back until their parents arrive.
         """
-        if event_id in self._index_of:
-            return None
+        located = self._locate(event_id)
+        if located is not None:
+            event_index, offset = located
+            if offset == 0 and self._events[event_index].op.length == op.length:
+                return None
+            raise ValueError(
+                f"remote event {event_id}+{op.length} partially overlaps an "
+                "existing run"
+            )
         return self.add_event(event_id, parent_ids, op)
 
     def merge_from(self, other: "EventGraph") -> list[int]:
@@ -209,8 +287,15 @@ class EventGraph:
         """
         added: list[int] = []
         for event in other.events():
-            if event.id in self._index_of:
-                continue
+            located = self._locate(event.id)
+            if located is not None:
+                event_index, offset = located
+                if offset == 0 and self._events[event_index].op.length == event.op.length:
+                    continue  # already present (same whole run)
+                raise ValueError(
+                    f"event {event.id}+{event.op.length} partially overlaps an "
+                    "existing run; the graphs have diverged illegally"
+                )
             parent_ids = [other.id_of(p) for p in event.parents]
             new_event = self.add_event(event.id, parent_ids, event.op)
             added.append(new_event.index)
@@ -221,7 +306,7 @@ class EventGraph:
     # ------------------------------------------------------------------
     def version_from_ids(self, ids: Iterable[EventId]) -> Version:
         """Convert a set of event ids into a local-index version tuple."""
-        return tuple(sorted(self._index_of[i] for i in ids))
+        return tuple(sorted({self.index_of(i) for i in ids}))
 
     def ids_from_version(self, version: Version) -> tuple[EventId, ...]:
         """Convert a local-index version into globally meaningful event ids."""
@@ -232,12 +317,46 @@ class EventGraph:
         return all(0 <= i < len(self._events) for i in version)
 
     def summary(self) -> dict[str, int]:
-        """Cheap summary statistics used by the trace tooling."""
-        inserts = sum(1 for e in self._events if e.op.is_insert)
-        deletes = len(self._events) - inserts
+        """Cheap summary statistics used by the trace tooling.
+
+        ``events`` counts run events; ``inserts`` / ``deletes`` / ``chars``
+        count characters, so they are invariant under run-length encoding.
+        """
+        inserted = sum(e.op.length for e in self._events if e.op.is_insert)
         return {
             "events": len(self._events),
-            "inserts": inserts,
-            "deletes": deletes,
+            "chars": self._num_chars,
+            "inserts": inserted,
+            "deletes": self._num_chars - inserted,
             "agents": len(self._next_seq),
         }
+
+
+def _event_length(event: Event) -> int:
+    return event.op.length
+
+
+def expand_to_chars(graph: EventGraph) -> EventGraph:
+    """The per-character expansion of a run graph (the correctness oracle).
+
+    Every run event of length L becomes L chained single-character events
+    carrying the same character ids: the first carries the run's parents, each
+    subsequent character has the previous one as its sole parent — exactly how
+    the history would look had it been recorded one keystroke at a time.
+    Expanding an already per-character graph is the identity (up to object
+    identity).
+    """
+    expanded = EventGraph()
+    last_char_index: dict[int, int] = {}  # run event index -> index of its last char
+    for event in graph.events():
+        parents = tuple(sorted(last_char_index[p] for p in event.parents))
+        for offset in range(event.op.length):
+            char_event = expanded.add_event(
+                event.id_at(offset),
+                parents,
+                event.op.char_at(offset),
+                parents_are_indices=True,
+            )
+            parents = (char_event.index,)
+        last_char_index[event.index] = len(expanded) - 1
+    return expanded

@@ -7,10 +7,13 @@ by a compact local integer index (their position in the append-only event
 list), which is what most of the algorithms in this package operate on.
 
 Operations are plain index-based insertions and deletions, exactly as a text
-editor would emit them (paper §2).  Runs of consecutive characters are kept as
-a single operation with ``len(content) > 1`` / ``length > 1`` where convenient,
-but the replay algorithms treat each character as one event, matching the
-paper's presentation.
+editor would emit them (paper §2).  Runs of consecutive characters are the
+*native* unit of the whole pipeline (paper §4, "run-length encoding"): one
+event carries one run, and the event's id names the run's **first** character
+— character ``k`` of the run has id ``(agent, seq + k)``, addressable as
+``(event_index, offset)`` locally.  The per-character representation is still
+expressible (every algorithm accepts length-1 runs) and is kept around as a
+correctness oracle, see :func:`repro.core.event_graph.expand_to_chars`.
 """
 
 from __future__ import annotations
@@ -48,6 +51,10 @@ class EventId(NamedTuple):
     def next(self) -> "EventId":
         """Return the id immediately following this one for the same agent."""
         return EventId(self.agent, self.seq + 1)
+
+    def advance(self, offset: int) -> "EventId":
+        """The id ``offset`` characters into the run starting at this id."""
+        return EventId(self.agent, self.seq + offset)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.agent}:{self.seq}"

@@ -1,18 +1,25 @@
 """Eg-walker's transient internal CRDT state (paper §3.3–3.4, §3.6).
 
-The :class:`InternalState` holds the sequence of character records the walker
-uses to transform operations, together with the map from event ids to records
-(the paper's second B-tree).  It exposes exactly the three methods of §3.2 —
-``apply``, ``retreat`` and ``advance`` (here split into insert/delete flavours
-of apply) — plus ``clear`` for the state-clearing optimisation of §3.5.
+The :class:`InternalState` holds the sequence of record runs the walker uses
+to transform operations, together with the map from event ids to records (the
+paper's second B-tree, maintained by the sequence backend as an id range
+index).  It exposes exactly the three methods of §3.2 — ``apply``, ``retreat``
+and ``advance`` (here split into insert/delete flavours of apply) — plus
+``clear`` for the state-clearing optimisation of §3.5.
+
+All methods are **run-native**: one call applies/retreats/advances a whole run
+event, touching O(spans) items instead of O(chars).  Record runs are split
+lazily, only when concurrency forces two parts of a run into different states
+(a delete covering part of a run, an insert landing between two characters of
+a run, or a run straddling a placeholder/record boundary).
 
 Concurrent insertions at the same position are ordered with a YATA-style
 integration rule (the "YjsMod" variant used by the paper's reference
-implementation): each record stores the item to its left and the next item
-that existed in its prepare version at insertion time (its *origins*), and a
-small scan over the other concurrent records placed at the same gap decides a
-consistent total order regardless of the order in which the events are
-replayed.
+implementation): each record stores id-based references to the character to
+its left and the next character that existed in its prepare version at
+insertion time (its *origins*), and a small scan over the other concurrent
+records placed at the same gap decides a consistent total order regardless of
+the order in which the events are replayed.
 
 The sequence itself is provided by a pluggable backend (list or
 order-statistic tree, see :mod:`repro.core.sequence`), so this module contains
@@ -22,6 +29,7 @@ only algorithmic logic and no data-structure code.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Iterator
 
 from .ids import EventId
@@ -35,7 +43,26 @@ from .records import (
 )
 from .sequence import Cursor, ListSequence, SequenceBackend, synthetic_record_id
 
-__all__ = ["InternalState"]
+__all__ = ["InternalState", "DeleteSegment"]
+
+
+@dataclass(slots=True)
+class DeleteSegment:
+    """One contiguous part of a delete run's outcome.
+
+    Attributes:
+        target: id of the first deleted character (the record character the
+            segment starts at; synthetic for placeholder carves).
+        length: number of characters this segment covers.
+        effect_pos: transformed index to delete ``length`` characters from in
+            the effect version — valid when the preceding segments of the same
+            event have already been applied — or ``None`` if these characters
+            were already deleted in the effect version (a no-op segment).
+    """
+
+    target: EventId
+    length: int
+    effect_pos: int | None
 
 
 class InternalState:
@@ -43,11 +70,10 @@ class InternalState:
 
     def __init__(self, backend: SequenceBackend | None = None) -> None:
         self.sequence: SequenceBackend = backend if backend is not None else ListSequence()
-        #: Maps event ids to the record they inserted (insert events) or the
-        #: record of the character they deleted (delete events).  This is the
-        #: paper's second B-tree; records carry a back-pointer to their leaf
-        #: when the tree backend is in use, so a plain dict suffices here.
-        self.id_map: dict[EventId, CrdtRecord] = {}
+        #: For every applied delete event, the id spans of the characters it
+        #: deleted.  Spans are resolved through the sequence's id range index
+        #: on retreat/advance, so they stay correct when records split later.
+        self._delete_targets: dict[EventId, list[tuple[EventId, int]]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -61,108 +87,177 @@ class InternalState:
         can address them, so they never affect transformed indexes.
         """
         self.sequence.clear(document_length)
-        self.id_map.clear()
+        self._delete_targets.clear()
 
     # ------------------------------------------------------------------
     # apply
     # ------------------------------------------------------------------
-    def apply_insert(self, event_id: EventId, pos: int) -> int:
-        """Apply an insertion at prepare-version index ``pos``.
+    def apply_insert(self, event_id: EventId, pos: int, length: int = 1) -> int:
+        """Apply an insert run at prepare-version index ``pos``.
 
-        Returns the transformed (effect-version) index at which the character
-        must be inserted into the document.
+        The whole run becomes a single record (its characters are adjacent by
+        construction — nothing can sit between characters typed in one run).
+        Returns the transformed (effect-version) index at which the run must
+        be inserted into the document.
         """
         cursor = self.sequence.find_insert_cursor(pos)
         origin_left = self.sequence.origin_left_of_cursor(cursor)
         origin_right = self.sequence.next_existing_in_prepare(cursor)
         record = CrdtRecord(
             id=event_id,
+            length=length,
             origin_left=origin_left,
             origin_right=origin_right,
             prepare_state=INSERTED,
             ever_deleted=False,
         )
         self._integrate(cursor, record, origin_left, origin_right)
-        self.id_map[event_id] = record
         return self.sequence.effect_position_of_item(record)
 
-    def apply_delete(self, event_id: EventId, pos: int) -> int | None:
-        """Apply a deletion of the character at prepare-version index ``pos``.
+    def apply_delete(self, event_id: EventId, pos: int, length: int = 1) -> list[DeleteSegment]:
+        """Apply a delete run of ``length`` characters at prepare index ``pos``.
 
-        Returns the transformed index to delete from the document, or ``None``
-        if the character was already deleted in the effect version (the
-        transformed operation is a no-op).
+        The run is carved into segments along the item boundaries it crosses
+        (records with different states, placeholder pieces).  Every character
+        of the run sits at the *same* prepare index once its predecessors are
+        deleted, so the loop repeatedly resolves ``pos``.
+
+        Returns the segments in application order; their ``effect_pos`` values
+        assume the preceding segments have been applied to the document.
         """
-        item, offset = self.sequence.find_visible_unit(pos)
-        if isinstance(item, PlaceholderPiece):
-            # The deleted character was inserted before the replay's base
-            # version; carve a record out of the placeholder (§3.6).
-            effect_pos = self.sequence.effect_position_of_item(item, offset)
-            record = CrdtRecord(
-                id=synthetic_record_id(),
-                prepare_state=INSERTED + 1,  # Del 1
-                ever_deleted=True,
-            )
-            self.sequence.convert_placeholder_unit(item, offset, record)
-            self.id_map[event_id] = record
-            return effect_pos
+        segments: list[DeleteSegment] = []
+        targets: list[tuple[EventId, int]] = []
+        remaining = length
+        while remaining > 0:
+            item, offset = self.sequence.find_visible_unit(pos)
+            if isinstance(item, PlaceholderPiece):
+                # The deleted characters were inserted before the replay's
+                # base version; carve a record run out of the placeholder
+                # (§3.6), clipped to this piece's end.
+                take = min(remaining, item.length - offset)
+                effect_pos = self.sequence.effect_position_of_item(item, offset)
+                record = CrdtRecord(
+                    id=synthetic_record_id(take),
+                    length=take,
+                    prepare_state=INSERTED + 1,  # Del 1
+                    ever_deleted=True,
+                    ph_base=item.base + offset,
+                )
+                self.sequence.convert_placeholder_run(item, offset, record)
+                segments.append(DeleteSegment(record.id, take, effect_pos))
+                targets.append((record.id, take))
+                remaining -= take
+                continue
 
-        record = item
-        if record.prepare_state != INSERTED:  # pragma: no cover - defensive
-            raise RuntimeError(
-                "delete targets a character that is not visible in the prepare "
-                "version; the event graph is invalid"
+            record = item
+            if record.prepare_state != INSERTED:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    "delete targets a character that is not visible in the "
+                    "prepare version; the event graph is invalid"
+                )
+            if offset > 0:
+                record = self.sequence.split_record(record, offset)
+            if record.length > remaining:
+                self.sequence.split_record(record, remaining)
+            take = record.length
+            was_effect_visible = not record.ever_deleted
+            effect_pos = (
+                self.sequence.effect_position_of_item(record) if was_effect_visible else None
             )
-        was_effect_visible = not record.ever_deleted
-        effect_pos = (
-            self.sequence.effect_position_of_item(record) if was_effect_visible else None
-        )
-        record.prepare_state += 1
-        d_effect = 0
-        if was_effect_visible:
-            record.ever_deleted = True
-            d_effect = -1
-        self.sequence.update_item_counts(record, -1, d_effect)
-        self.id_map[event_id] = record
-        return effect_pos
+            record.prepare_state += 1
+            d_effect = 0
+            if was_effect_visible:
+                record.ever_deleted = True
+                d_effect = -take
+            self.sequence.update_item_counts(record, -take, d_effect)
+            segments.append(DeleteSegment(record.id, take, effect_pos))
+            targets.append((record.id, take))
+            remaining -= take
+        self._delete_targets[event_id] = targets
+        return segments
 
     # ------------------------------------------------------------------
     # retreat / advance
     # ------------------------------------------------------------------
-    def retreat(self, event_id: EventId, is_insert: bool) -> None:
-        """Remove ``event_id`` from the prepare version (§3.2)."""
-        record = self.id_map[event_id]
+    def retreat(self, event_id: EventId, is_insert: bool, length: int = 1) -> None:
+        """Remove a whole run event from the prepare version (§3.2)."""
         if is_insert:
-            if record.prepare_state != INSERTED:  # pragma: no cover - defensive
-                raise RuntimeError("retreating an insert whose record is not Ins")
-            record.prepare_state = NOT_YET_INSERTED
-            self.sequence.update_item_counts(record, -1, 0)
+            for record in self._aligned_spans(event_id, length):
+                if record.prepare_state != INSERTED:  # pragma: no cover - defensive
+                    raise RuntimeError("retreating an insert whose record is not Ins")
+                record.prepare_state = NOT_YET_INSERTED
+                self.sequence.update_item_counts(record, -record.length, 0)
         else:
-            if record.prepare_state < INSERTED + 1:  # pragma: no cover - defensive
-                raise RuntimeError("retreating a delete whose record is not Del n")
-            record.prepare_state -= 1
-            if record.prepare_state == INSERTED:
-                self.sequence.update_item_counts(record, +1, 0)
+            for target_id, target_len in self._delete_targets[event_id]:
+                for record in self._aligned_spans(target_id, target_len):
+                    if record.prepare_state < INSERTED + 1:  # pragma: no cover - defensive
+                        raise RuntimeError("retreating a delete whose record is not Del n")
+                    record.prepare_state -= 1
+                    if record.prepare_state == INSERTED:
+                        self.sequence.update_item_counts(record, +record.length, 0)
 
-    def advance(self, event_id: EventId, is_insert: bool) -> None:
-        """Add ``event_id`` back into the prepare version (§3.2)."""
-        record = self.id_map[event_id]
+    def advance(self, event_id: EventId, is_insert: bool, length: int = 1) -> None:
+        """Add a whole run event back into the prepare version (§3.2)."""
         if is_insert:
-            if record.prepare_state != NOT_YET_INSERTED:  # pragma: no cover - defensive
-                raise RuntimeError("advancing an insert whose record is not NIY")
-            record.prepare_state = INSERTED
-            self.sequence.update_item_counts(record, +1, 0)
+            for record in self._aligned_spans(event_id, length):
+                if record.prepare_state != NOT_YET_INSERTED:  # pragma: no cover - defensive
+                    raise RuntimeError("advancing an insert whose record is not NIY")
+                record.prepare_state = INSERTED
+                self.sequence.update_item_counts(record, +record.length, 0)
         else:
-            if record.prepare_state < INSERTED:  # pragma: no cover - defensive
-                raise RuntimeError("advancing a delete whose record is NIY")
-            was_visible = record.prepare_state == INSERTED
-            record.prepare_state += 1
-            if was_visible:
-                self.sequence.update_item_counts(record, -1, 0)
+            for target_id, target_len in self._delete_targets[event_id]:
+                for record in self._aligned_spans(target_id, target_len):
+                    if record.prepare_state < INSERTED:  # pragma: no cover - defensive
+                        raise RuntimeError("advancing a delete whose record is NIY")
+                    was_visible = record.prepare_state == INSERTED
+                    record.prepare_state += 1
+                    if was_visible:
+                        self.sequence.update_item_counts(record, -record.length, 0)
+
+    def _aligned_spans(self, start_id: EventId, length: int) -> list[CrdtRecord]:
+        """Records exactly covering the id span ``start_id .. +length``.
+
+        Records created by one event never cover ids of another, and splits
+        only refine spans, so the covering records normally align with the
+        requested range already; when they don't (future partial operations),
+        they are split so that a state change never bleeds outside the range.
+        """
+        spans: list[CrdtRecord] = []
+        seq = start_id.seq
+        end = start_id.seq + length
+        while seq < end:
+            record, offset = self.sequence.record_at(EventId(start_id.agent, seq))
+            if offset > 0:
+                record = self.sequence.split_record(record, offset)
+            if record.length > end - seq:
+                self.sequence.split_record(record, end - seq)
+            spans.append(record)
+            seq += record.length
+        return spans
 
     # ------------------------------------------------------------------
-    # Introspection (used by tests and the memory benchmarks)
+    # Introspection (used by tests, converters and the memory benchmarks)
     # ------------------------------------------------------------------
+    def record_for(self, event_id: EventId) -> CrdtRecord:
+        """The record covering ``event_id``.
+
+        For insert ids this is the run containing the character; for delete
+        event ids it is the record of the (first) character the event deleted.
+        """
+        try:
+            record, _ = self.sequence.record_at(event_id)
+            return record
+        except KeyError:
+            targets = self._delete_targets.get(event_id)
+            if targets:
+                record, _ = self.sequence.record_at(targets[0][0])
+                return record
+            raise
+
+    def delete_targets(self, event_id: EventId) -> list[tuple[EventId, int]]:
+        """The id spans a previously applied delete event removed."""
+        return list(self._delete_targets[event_id])
+
     def iter_records(self) -> Iterator[Item]:
         return self.sequence.iter_items()
 
@@ -173,7 +268,12 @@ class InternalState:
         return self.sequence.effect_length()
 
     def record_count(self) -> int:
+        """Number of span items currently held (runs, not characters)."""
         return self.sequence.memory_items()
+
+    def unit_count(self) -> int:
+        """Number of characters covered by the current items."""
+        return self.sequence.total_units()
 
     # ------------------------------------------------------------------
     # Concurrent-insert ordering (YATA / YjsMod integration)
@@ -192,11 +292,13 @@ class InternalState:
         new record's origins and decide, from *their* origins and a final id
         tie-break, whether the new record goes before or after each of them.
         The resulting order is independent of the replay order (Lemma C.5).
+        Runs integrate as a unit — ordering is decided by their first
+        character, which keeps each run contiguous (maximal non-interleaving).
         """
         if cursor.item is not None and cursor.offset > 0:
-            # The gap is strictly inside a placeholder piece: there can be no
-            # concurrent records at this gap, so insert directly (splitting
-            # the placeholder).
+            # The gap is strictly inside a placeholder piece or a record run:
+            # there can be no concurrent records at this gap, so insert
+            # directly (splitting the item).
             self.sequence.insert_record_at_cursor(cursor, record)
             return
 

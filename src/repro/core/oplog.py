@@ -2,9 +2,10 @@
 
 The :class:`OpLog` is the part of a replica's state that is persisted and
 replicated: the event graph.  It offers the editor-facing operations (insert /
-delete runs of text, which are expanded into the per-character events the
-graph stores), the replication-facing operations (enumerate events missing
-from a remote version, ingest remote events), and version bookkeeping.
+delete runs of text, stored as **one event per run** — the run-length encoding
+the paper attributes most of its "Faster, Smaller" wins to), the
+replication-facing operations (enumerate events missing from a remote
+version, ingest remote events), and version bookkeeping.
 
 It deliberately does *not* hold the document text — that lives in
 :class:`repro.core.document.Document` — nor any CRDT metadata, which is the
@@ -49,31 +50,27 @@ class OpLog:
     # ------------------------------------------------------------------
     # Local editing
     # ------------------------------------------------------------------
-    def add_insert(self, pos: int, content: str, *, agent: str | None = None) -> list[Event]:
+    def add_insert(self, pos: int, content: str, *, agent: str | None = None) -> Event:
         """Record a local insertion of ``content`` at index ``pos``.
 
-        The run is expanded into one event per character; each character's
-        event has the previous one as its sole parent, mirroring how the text
-        was typed (and how the columnar storage format will re-compress it).
+        The whole run is stored as a single event whose id names its first
+        character — O(1) events and id-map entries per run instead of
+        O(chars).  The per-character view is recoverable with
+        :func:`repro.core.event_graph.expand_to_chars`.
         """
         agent_name = self._agent(agent)
-        events = []
-        for offset, char in enumerate(content):
-            events.append(self.graph.add_local_event(agent_name, insert_op(pos + offset, char)))
-        return events
+        return self.graph.add_local_event(agent_name, insert_op(pos, content))
 
-    def add_delete(self, pos: int, length: int = 1, *, agent: str | None = None) -> list[Event]:
+    def add_delete(self, pos: int, length: int = 1, *, agent: str | None = None) -> Event:
         """Record a local deletion of ``length`` characters starting at ``pos``.
 
-        Deleting a run is expressed as ``length`` single-character deletions
-        at the *same* index, because after each deletion the following
-        characters shift left by one.
+        Stored as a single run event: deleting ``length`` characters at
+        ``pos`` removes ``pos .. pos+length-1`` of the version the event was
+        generated against (each character lands on the same index once its
+        predecessors are gone).
         """
         agent_name = self._agent(agent)
-        events = []
-        for _ in range(length):
-            events.append(self.graph.add_local_event(agent_name, delete_op(pos)))
-        return events
+        return self.graph.add_local_event(agent_name, delete_op(pos, length))
 
     def _agent(self, agent: str | None) -> str:
         name = agent if agent is not None else self.agent

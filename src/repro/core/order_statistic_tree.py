@@ -4,19 +4,20 @@ The paper stores the internal state's records in the leaves of a B-tree and
 extends it into an *order statistic tree*: every node carries the number of
 prepare-visible and effect-visible characters in its subtree, so that
 
-* the record holding the i-th character visible in the prepare version can be
-  found in O(log n),
+* the record run holding the i-th character visible in the prepare version
+  can be found in O(log n),
 * the effect-version index of a record can be computed in O(log n) by summing
   the counters of subtrees to its left, and
 * updating a record's state only requires fixing the counters on the path to
   the root.
 
 :class:`TreeSequence` implements the :class:`~repro.core.sequence.SequenceBackend`
-contract on top of such a tree.  Items (records and placeholder pieces) live
-in the leaves; each item keeps a back-pointer to its leaf (the paper's second
-B-tree maps event ids to records — here the id map simply stores the record
-object and uses the back-pointer, which is updated whenever leaves split,
-exactly as described in §3.4).
+contract on top of such a tree.  Items (record runs and placeholder pieces)
+live in the leaves; each item keeps a back-pointer to its leaf (the paper's
+second B-tree maps event ids to records — here the shared id range index of
+:class:`~repro.core.sequence.SequenceBackend` stores the record object and
+uses the back-pointer, which is updated whenever leaves split, exactly as
+described in §3.4).
 """
 
 from __future__ import annotations
@@ -31,7 +32,7 @@ from .records import (
     PlaceholderPiece,
     placeholder_origin,
 )
-from .sequence import Cursor, SequenceBackend
+from .sequence import Cursor, SequenceBackend, _ref_to_unit
 
 __all__ = ["TreeSequence"]
 
@@ -88,9 +89,9 @@ class TreeSequence(SequenceBackend):
     """Order-statistic B+-tree implementation of the internal-state sequence."""
 
     def __init__(self, placeholder_length: int = 0) -> None:
+        super().__init__()
         self._root: _Leaf | _Internal = _Leaf()
         self._first_leaf: _Leaf = self._root  # type: ignore[assignment]
-        self._carved: dict[int, CrdtRecord] = {}
         self._piece_bases: list[int] = []
         self._pieces: dict[int, PlaceholderPiece] = {}
         self._item_count = 0
@@ -103,7 +104,7 @@ class TreeSequence(SequenceBackend):
         leaf = _Leaf()
         self._root = leaf
         self._first_leaf = leaf
-        self._carved = {}
+        self._reset_indices()
         self._piece_bases = []
         self._pieces = {}
         self._item_count = 0
@@ -126,7 +127,7 @@ class TreeSequence(SequenceBackend):
             self._piece_bases.insert(idx, piece.base)
             self._pieces[piece.base] = piece
 
-    def _piece_containing(self, original_offset: int) -> tuple[PlaceholderPiece, int]:
+    def resolve_placeholder(self, original_offset: int) -> tuple[PlaceholderPiece, int]:
         idx = bisect.bisect_right(self._piece_bases, original_offset) - 1
         if idx < 0:
             raise KeyError(f"placeholder offset {original_offset} not found")
@@ -157,8 +158,7 @@ class TreeSequence(SequenceBackend):
         for item in node.items:  # type: ignore[union-attr]
             visible = item.prepare_units
             if visible > remaining:
-                offset = remaining if isinstance(item, PlaceholderPiece) else 0
-                return item, offset
+                return item, remaining
             remaining -= visible
         raise RuntimeError("prepare counters out of sync")  # pragma: no cover
 
@@ -172,16 +172,16 @@ class TreeSequence(SequenceBackend):
                 f"{self._root.prep}"
             )
         item, offset = self.find_visible_unit(prepare_pos - 1)
-        if isinstance(item, PlaceholderPiece) and offset + 1 < item.length:
+        if offset + 1 < item.units:
+            # The gap sits strictly inside a multi-unit item (prepare-visible
+            # items have unit offset == prepare offset).
             return Cursor(item, offset + 1)
         nxt = self._next_item(item)
         return Cursor(nxt, 0) if nxt is not None else Cursor(None)
 
     def origin_left_of_cursor(self, cursor: Cursor) -> OriginRef:
         if cursor.item is not None and cursor.offset > 0:
-            piece = cursor.item
-            assert isinstance(piece, PlaceholderPiece)
-            return placeholder_origin(piece.base + cursor.offset - 1)
+            return _ref_to_unit(cursor.item, cursor.offset - 1)
         prev = (
             self._last_item()
             if cursor.at_end
@@ -189,9 +189,7 @@ class TreeSequence(SequenceBackend):
         )
         if prev is None:
             return None
-        if isinstance(prev, PlaceholderPiece):
-            return placeholder_origin(prev.base + prev.length - 1)
-        return prev
+        return _ref_to_unit(prev, prev.units - 1)
 
     def next_existing_in_prepare(self, cursor: Cursor) -> OriginRef:
         if cursor.at_end:
@@ -199,17 +197,16 @@ class TreeSequence(SequenceBackend):
         item: Item | None = cursor.item
         first = True
         while item is not None:
+            offset = cursor.offset if first else 0
             if isinstance(item, PlaceholderPiece):
-                offset = cursor.offset if first else 0
                 return placeholder_origin(item.base + offset)
             if item.exists_in_prepare:
-                return item
+                return item.id_at(offset)
             item = self._next_item(item)
             first = False
         return None
 
-    def unit_position_of_ref(self, ref: OriginRef) -> int:
-        item, offset = self._resolve_ref(ref)
+    def unit_position_of_item(self, item: Item, offset: int = 0) -> int:
         return self._position_of_item(item, offset, effect=False, units=True)
 
     def effect_position_of_item(self, item: Item, offset: int = 0) -> int:
@@ -240,9 +237,13 @@ class TreeSequence(SequenceBackend):
             self._append_record(record)
             return
         if cursor.offset > 0:
-            piece = cursor.item
-            assert isinstance(piece, PlaceholderPiece)
-            self._split_piece_and_insert(piece, cursor.offset, record, consume_unit=False)
+            target = cursor.item
+            if isinstance(target, PlaceholderPiece):
+                self._split_piece_and_insert(target, cursor.offset, record, consumed=0)
+                self.register_record(record)
+                return
+            right = self.split_record(target, cursor.offset)
+            self._insert_before(right, record)
             return
         self._insert_before(cursor.item, record)
 
@@ -252,11 +253,28 @@ class TreeSequence(SequenceBackend):
             return
         self._insert_before(target, record)
 
-    def convert_placeholder_unit(
+    def convert_placeholder_run(
         self, piece: PlaceholderPiece, offset: int, record: CrdtRecord
     ) -> None:
-        self._split_piece_and_insert(piece, offset, record, consume_unit=True)
-        self._carved[piece.base + offset] = record
+        if offset + record.length > piece.length:
+            raise ValueError("carved run exceeds the placeholder piece")
+        if record.ph_base is None:
+            record.ph_base = piece.base + offset
+        self._split_piece_and_insert(piece, offset, record, consumed=record.length)
+        self.register_record(record)
+
+    def split_record(self, record: CrdtRecord, offset: int) -> CrdtRecord:
+        leaf: _Leaf = record.leaf  # type: ignore[assignment]
+        idx = _index_in_leaf(leaf, record)
+        right = record.split(offset)
+        right.leaf = leaf
+        leaf.items.insert(idx + 1, right)
+        self._item_count += 1
+        # Aggregates are unchanged (the same characters are below the leaf);
+        # only a structural split may be needed.
+        self.register_record(right)
+        self._maybe_split_leaf(leaf)
+        return right
 
     def update_item_counts(self, item: Item, d_prepare: int, d_effect: int) -> None:
         if d_prepare == 0 and d_effect == 0:
@@ -360,17 +378,6 @@ class TreeSequence(SequenceBackend):
             parent = node.parent
         return pos
 
-    def _resolve_ref(self, ref: OriginRef) -> tuple[Item, int]:
-        if isinstance(ref, CrdtRecord):
-            return ref, 0
-        if isinstance(ref, tuple) and len(ref) == 2 and ref[0] == "ph":
-            original_offset = ref[1]
-            carved = self._carved.get(original_offset)
-            if carved is not None:
-                return carved, 0
-            return self._piece_containing(original_offset)
-        raise TypeError(f"cannot resolve origin reference {ref!r}")
-
     # -- structural modifications --------------------------------------------
     def _append_record(self, record: CrdtRecord) -> None:
         node = self._root
@@ -380,6 +387,7 @@ class TreeSequence(SequenceBackend):
         record.leaf = leaf
         leaf.items.append(record)
         self._item_count += 1
+        self.register_record(record)
         self._bubble_add(leaf, record.units, record.prepare_units, record.effect_units)
         self._maybe_split_leaf(leaf)
 
@@ -389,22 +397,23 @@ class TreeSequence(SequenceBackend):
         record.leaf = leaf
         leaf.items.insert(idx, record)
         self._item_count += 1
+        self.register_record(record)
         self._bubble_add(leaf, record.units, record.prepare_units, record.effect_units)
         self._maybe_split_leaf(leaf)
 
     def _split_piece_and_insert(
-        self, piece: PlaceholderPiece, offset: int, record: CrdtRecord, *, consume_unit: bool
+        self, piece: PlaceholderPiece, offset: int, record: CrdtRecord, *, consumed: int
     ) -> None:
         """Split ``piece`` at ``offset`` and place ``record`` in the gap.
 
-        If ``consume_unit`` is true the placeholder unit at ``offset`` is
-        *replaced* by the record (used when deleting a pre-existing
-        character); otherwise the record is inserted between units
-        ``offset-1`` and ``offset`` and the placeholder keeps all its units.
+        ``consumed`` placeholder units starting at ``offset`` are *replaced*
+        by the record (used when deleting pre-existing characters); with
+        ``consumed == 0`` the record is inserted between units ``offset-1``
+        and ``offset`` and the placeholder keeps all its units.
         """
         leaf: _Leaf = piece.leaf  # type: ignore[assignment]
         idx = _index_in_leaf(leaf, piece)
-        right_start = offset + 1 if consume_unit else offset
+        right_start = offset + consumed
         replacement: list[Item] = []
         if offset > 0:
             left = PlaceholderPiece(base=piece.base, length=offset)
@@ -433,9 +442,9 @@ class TreeSequence(SequenceBackend):
         if right_start < piece.length:
             self._register_piece(replacement[-1])  # type: ignore[arg-type]
 
-        delta_units = record.units - (1 if consume_unit else 0)
-        delta_prep = record.prepare_units - (1 if consume_unit else 0)
-        delta_eff = record.effect_units - (1 if consume_unit else 0)
+        delta_units = record.units - consumed
+        delta_prep = record.prepare_units - consumed
+        delta_eff = record.effect_units - consumed
         self._bubble_add(leaf, delta_units, delta_prep, delta_eff)
         self._maybe_split_leaf(leaf)
 

@@ -1,0 +1,74 @@
+"""A generic integer range map for run-length encoded id spaces.
+
+Several layers of the pipeline need the same structure: values are registered
+under an integer start key, each value covers a contiguous half-open range of
+keys (its *length*), and lookups resolve any key to the covering value plus an
+offset.  The event graph uses it per agent to map ``seq`` ids to run events;
+the internal-state sequence backends use it to map character ids to record
+spans and original placeholder offsets to carved records.
+
+Registration is O(log n) via bisect.  Ranges are only ever *refined* —
+a split registers the new right half under its own start, the existing entry
+simply covers less — never merged or removed (short of :meth:`clear`), so a
+lookup is a single bisect plus a containment check against the value's
+current length.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Generic, TypeVar
+
+__all__ = ["RangeIndex"]
+
+T = TypeVar("T")
+
+
+class RangeIndex(Generic[T]):
+    """Maps integer keys to the value whose registered range covers them."""
+
+    __slots__ = ("_starts", "_values", "_length_of")
+
+    def __init__(self, length_of: Callable[[T], int]) -> None:
+        self._starts: list[int] = []
+        self._values: dict[int, T] = {}
+        #: Current length of a value's range; consulted at lookup time so
+        #: splits that shrink a registered value are reflected immediately.
+        self._length_of = length_of
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._values.clear()
+
+    def register(self, start: int, value: T) -> None:
+        """Register ``value`` as covering ``start .. start + length_of(value)``."""
+        if start in self._values:
+            self._values[start] = value
+            return
+        bisect.insort(self._starts, start)
+        self._values[start] = value
+
+    def find(self, key: int) -> tuple[T, int] | None:
+        """The (value, offset) whose range contains ``key``, or ``None``."""
+        idx = bisect.bisect_right(self._starts, key) - 1
+        if idx < 0:
+            return None
+        start = self._starts[idx]
+        value = self._values[start]
+        offset = key - start
+        if offset < self._length_of(value):
+            return value, offset
+        return None
+
+    def next_start_in(self, lo: int, hi: int) -> int | None:
+        """The smallest registered start in ``[lo, hi)``, or ``None``.
+
+        Used to detect ranges that would envelop an existing entry.
+        """
+        idx = bisect.bisect_left(self._starts, lo)
+        if idx < len(self._starts) and self._starts[idx] < hi:
+            return self._starts[idx]
+        return None

@@ -3,10 +3,14 @@
 The walker's internal state is a linear sequence of *items*.  Each item is
 either:
 
-* a :class:`CrdtRecord` — one inserted character, carrying the id of the event
-  that inserted it, the CRDT origin references used to order concurrent
-  insertions, the prepare-version state ``s_p`` and the effect-version state
-  ``s_e`` (here a boolean ``ever_deleted``); or
+* a :class:`CrdtRecord` — a **run** of inserted characters, carrying the id of
+  the run's first character (character ``k`` has id ``id.advance(k)``), the
+  CRDT origin references used to order concurrent insertions, the
+  prepare-version state ``s_p`` and the effect-version state ``s_e`` (here a
+  boolean ``ever_deleted``).  All characters of a record share the same state;
+  whenever an event needs to change the state of only part of a record, the
+  record is first *split* — exactly the Yjs/diamond-types item-splitting
+  scheme the paper's reference implementation uses; or
 * a :class:`PlaceholderPiece` — a run of characters that were inserted before
   the version the replay started from (§3.6).  Placeholders count as visible
   in both the prepare and the effect version, and are split whenever an event
@@ -18,11 +22,16 @@ as an integer exactly like the pseudocode in Appendix B:
 * ``0`` — ``NotInsertedYet`` (the insertion has been retreated),
 * ``1`` — ``Ins`` (inserted, visible),
 * ``n >= 2`` — ``Del (n-1)`` (deleted by ``n-1`` concurrent delete events).
+
+Origin references are *id-based* (an :class:`~repro.core.ids.EventId` naming
+one character, or a ``('ph', offset)`` tuple naming a character of the
+original placeholder), so they stay valid when the record they point into is
+split later.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from .ids import EventId
@@ -49,32 +58,78 @@ END = None
 
 @dataclass(slots=True, eq=False)
 class CrdtRecord:
-    """One character of the internal state.
+    """A run of characters of the internal state.
 
     Attributes:
-        id: id of the insertion event that created this character, or a
-            synthetic local id for characters carved out of a placeholder by a
+        id: id of the *first* character of this run — either the insertion
+            event that created it (possibly advanced, after splits), or a
+            synthetic local id for runs carved out of a placeholder by a
             deletion (§3.6: "a placeholder ID that only needs to be unique
             within the local replica").
-        origin_left: reference to the item immediately to the left of this
-            character in the prepare version at the time it was inserted
-            (``None`` for the document start).  Used by the list CRDT to order
-            concurrent insertions.
-        origin_right: reference to the next item that existed in the prepare
-            version at insertion time (``None`` for the document end).
-        prepare_state: the ``s_p`` integer state (see module docstring).
-        ever_deleted: the ``s_e`` state — ``True`` iff any replayed event has
-            deleted this character.
+        length: number of characters this record covers (>= 1).
+        origin_left: id-based reference to the character immediately to the
+            left of this run in the prepare version at the time it was
+            inserted (``None`` for the document start).  Used by the list CRDT
+            to order concurrent insertions.
+        origin_right: reference to the next character that existed in the
+            prepare version at insertion time (``None`` for the document end).
+        prepare_state: the ``s_p`` integer state, shared by every character of
+            the run (see module docstring).
+        ever_deleted: the ``s_e`` state — ``True`` iff a replayed event has
+            deleted the run's characters.
+        ph_base: for runs carved out of a placeholder, the offset of the run's
+            first character within the *original* placeholder; ``None`` for
+            ordinary insertions.  Kept so ``('ph', offset)`` origin references
+            keep resolving after the carve (and after later splits).
         leaf: back-pointer maintained by the tree sequence backend so a record
             can be located in O(log n); unused by the list backend.
     """
 
     id: EventId
+    length: int = 1
     origin_left: "OriginRef" = None
     origin_right: "OriginRef" = None
     prepare_state: int = INSERTED
     ever_deleted: bool = False
+    ph_base: int | None = None
     leaf: object = None
+
+    # ------------------------------------------------------------------
+    @property
+    def end_seq(self) -> int:
+        """One past the seq of the run's last character."""
+        return self.id.seq + self.length
+
+    def id_at(self, offset: int) -> EventId:
+        """Id of the ``offset``-th character of this run."""
+        return EventId(self.id.agent, self.id.seq + offset)
+
+    def contains_seq(self, seq: int) -> bool:
+        return self.id.seq <= seq < self.end_seq
+
+    def split(self, offset: int) -> "CrdtRecord":
+        """Split this run before character ``offset``; return the right half.
+
+        The left half (``self``) keeps characters ``0 .. offset-1``; the
+        returned right half covers the rest.  Following the Yjs splitting
+        rule, the right half's left origin is the last character of the left
+        half, and both halves share every other piece of state.  The caller is
+        responsible for inserting the right half into the sequence directly
+        after ``self`` and for registering it with the id index.
+        """
+        if offset <= 0 or offset >= self.length:
+            raise ValueError(f"cannot split a record of length {self.length} at {offset}")
+        right = CrdtRecord(
+            id=self.id.advance(offset),
+            length=self.length - offset,
+            origin_left=self.id_at(offset - 1),
+            origin_right=self.origin_right,
+            prepare_state=self.prepare_state,
+            ever_deleted=self.ever_deleted,
+            ph_base=None if self.ph_base is None else self.ph_base + offset,
+        )
+        self.length = offset
+        return right
 
     # ------------------------------------------------------------------
     @property
@@ -92,23 +147,24 @@ class CrdtRecord:
         """Visible in the effect version (never deleted by a replayed event)."""
         return not self.ever_deleted
 
-    # Unit accounting -- records always represent exactly one character.
+    # Unit accounting -- a record represents ``length`` characters, all
+    # sharing the same visibility state.
     @property
     def units(self) -> int:
-        return 1
+        return self.length
 
     @property
     def prepare_units(self) -> int:
-        return 1 if self.prepare_state == INSERTED else 0
+        return self.length if self.prepare_state == INSERTED else 0
 
     @property
     def effect_units(self) -> int:
-        return 0 if self.ever_deleted else 1
+        return 0 if self.ever_deleted else self.length
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"CrdtRecord({self.id.agent}:{self.id.seq}, sp={self.prepare_state}, "
-            f"del={self.ever_deleted})"
+            f"CrdtRecord({self.id.agent}:{self.id.seq}+{self.length}, "
+            f"sp={self.prepare_state}, del={self.ever_deleted})"
         )
 
 
@@ -158,10 +214,10 @@ class PlaceholderPiece:
 
 Item = Union[CrdtRecord, PlaceholderPiece]
 
-#: An origin reference is ``None`` (document start/end), a :class:`CrdtRecord`
-#: or a ``('ph', original_offset)`` tuple naming a character that is (or was)
-#: inside the placeholder.
-OriginRef = Union[None, CrdtRecord, tuple]
+#: An origin reference is ``None`` (document start/end), an :class:`EventId`
+#: naming one character of a record run, or a ``('ph', original_offset)``
+#: tuple naming a character that is (or was) inside the placeholder.
+OriginRef = Union[None, EventId, tuple]
 
 
 def placeholder_origin(original_offset: int) -> tuple:

@@ -1,12 +1,14 @@
 """Sequence backends for the walker's internal state (paper §3.3–3.4).
 
-The internal state is a linear sequence of items (character records and
-placeholder pieces, see :mod:`repro.core.records`).  The walker needs to
+The internal state is a linear sequence of items (record runs and placeholder
+pieces, see :mod:`repro.core.records`).  The walker needs to
 
-* map a prepare-version index to the item holding that character,
-* map an item back to its effect-version index,
-* insert new records at arbitrary positions,
-* split placeholder pieces, and
+* map a prepare-version index to the unit (item + offset) holding that
+  character,
+* map a unit back to its effect-version index,
+* insert new record runs at arbitrary positions,
+* split record runs and placeholder pieces when an event addresses only part
+  of them, and
 * adjust visibility counters when an item's ``s_p`` / ``s_e`` state changes.
 
 Two interchangeable backends implement this contract:
@@ -18,19 +20,23 @@ Two interchangeable backends implement this contract:
   (an order statistic tree, §3.4) with O(log n) lookups and updates; this is
   what the optimised walker uses.
 
-Positions are expressed in *units*: a record is one unit, a placeholder piece
-of length L is L units.  A :class:`Cursor` identifies a gap between units.
+Positions are expressed in *units*: an item of length L is L units.  A
+:class:`Cursor` identifies a gap between units.  Because origin references are
+id-based (see :mod:`repro.core.records`), each backend also maintains a
+*record index* — the paper's second B-tree — mapping ``(agent, seq)``
+character ids to the record run currently covering them; the index is a range
+map over id spans, so it stays O(runs + splits) in size rather than O(chars).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from .ids import EventId
+from .range_map import RangeIndex
 from .records import (
-    INSERTED,
     CrdtRecord,
     Item,
     OriginRef,
@@ -38,18 +44,26 @@ from .records import (
     placeholder_origin,
 )
 
-__all__ = ["Cursor", "SequenceBackend", "ListSequence"]
+__all__ = ["Cursor", "SequenceBackend", "ListSequence", "synthetic_record_id"]
 
 _synthetic_counter = itertools.count()
 
+#: Agent name used for record runs carved out of a placeholder (§3.6).
+SYNTHETIC_AGENT = "__placeholder__"
 
-def synthetic_record_id() -> EventId:
-    """A locally unique id for a record carved out of a placeholder.
+
+def synthetic_record_id(length: int = 1) -> EventId:
+    """A locally unique id span for a run carved out of a placeholder.
 
     Placeholder ids only need to be unique within the local replica (§3.6);
-    they are never replicated, compared across replicas, or persisted.
+    they are never replicated, compared across replicas, or persisted.  The
+    returned id names the first character of the carved run; ``length``
+    consecutive seqs are reserved.
     """
-    return EventId("__placeholder__", next(_synthetic_counter))
+    start = next(_synthetic_counter)
+    for _ in range(length - 1):
+        next(_synthetic_counter)
+    return EventId(SYNTHETIC_AGENT, start)
 
 
 @dataclass(slots=True)
@@ -57,8 +71,9 @@ class Cursor:
     """A gap in the item sequence: before unit ``offset`` of ``item``.
 
     ``item is None`` means the cursor is at the very end of the sequence.
-    ``offset`` is only meaningful for placeholder pieces (records are a single
-    unit, so a cursor inside a record is impossible).
+    ``offset > 0`` places the gap strictly inside a multi-unit item (a
+    placeholder piece or a record run), which the mutation methods resolve by
+    splitting the item.
     """
 
     item: Item | None
@@ -70,7 +85,16 @@ class Cursor:
 
 
 class SequenceBackend:
-    """Abstract contract shared by the list and tree backends."""
+    """Abstract contract shared by the list and tree backends.
+
+    The registry-management helpers at the bottom are concrete: both backends
+    store their record index and carved index the same way and only differ in
+    how the item sequence itself is organised.
+    """
+
+    def __init__(self) -> None:
+        self._record_index: dict[str, RangeIndex[CrdtRecord]] = {}
+        self._carved_index: RangeIndex[CrdtRecord] = RangeIndex(_record_length)
 
     # -- construction / reset -------------------------------------------------
     def clear(self, placeholder_length: int) -> None:
@@ -87,7 +111,7 @@ class SequenceBackend:
         raise NotImplementedError
 
     def origin_left_of_cursor(self, cursor: Cursor) -> OriginRef:
-        """Reference to the unit immediately before ``cursor`` (None = start)."""
+        """Id-based reference to the unit immediately before ``cursor`` (None = start)."""
         raise NotImplementedError
 
     def next_existing_in_prepare(self, cursor: Cursor) -> OriginRef:
@@ -97,10 +121,20 @@ class SequenceBackend:
 
     def unit_position_of_ref(self, ref: OriginRef) -> int:
         """Absolute unit index of an origin reference."""
+        item, offset = self.resolve_ref(ref)
+        return self.unit_position_of_item(item, offset)
+
+    def unit_position_of_item(self, item: Item, offset: int = 0) -> int:
+        """Number of units strictly before the given unit."""
         raise NotImplementedError
 
     def effect_position_of_item(self, item: Item, offset: int = 0) -> int:
-        """Number of effect-visible units strictly before the given unit."""
+        """Number of effect-visible units strictly before the given unit.
+
+        ``offset`` is a unit offset within ``item`` and must only be non-zero
+        for items that are effect-visible (placeholders or undeleted records),
+        where unit offsets and effect offsets coincide.
+        """
         raise NotImplementedError
 
     def iter_items_from_cursor(self, cursor: Cursor) -> Iterator[Item]:
@@ -112,17 +146,27 @@ class SequenceBackend:
 
     # -- mutation -------------------------------------------------------------
     def insert_record_at_cursor(self, cursor: Cursor, record: CrdtRecord) -> None:
-        """Insert ``record`` at the gap identified by ``cursor``."""
+        """Insert ``record`` at the gap identified by ``cursor`` (splitting the
+        item the cursor points into when the gap is strictly inside it)."""
         raise NotImplementedError
 
     def insert_record_before_item(self, target: Item | None, record: CrdtRecord) -> None:
         """Insert ``record`` immediately before ``target`` (None = append)."""
         raise NotImplementedError
 
-    def convert_placeholder_unit(
+    def convert_placeholder_run(
         self, piece: PlaceholderPiece, offset: int, record: CrdtRecord
     ) -> None:
-        """Replace one placeholder unit with ``record`` (splitting the piece)."""
+        """Replace ``record.length`` placeholder units starting at ``offset``
+        with ``record`` (splitting the piece as needed)."""
+        raise NotImplementedError
+
+    def split_record(self, record: CrdtRecord, offset: int) -> CrdtRecord:
+        """Split ``record`` before character ``offset``; return the right half.
+
+        Aggregate counts are unchanged; the right half is registered with the
+        id index (and the carved index, for carved runs).
+        """
         raise NotImplementedError
 
     def update_item_counts(self, item: Item, d_prepare: int, d_effect: int) -> None:
@@ -145,19 +189,81 @@ class SequenceBackend:
         """Number of items currently held (used by the memory benchmarks)."""
         raise NotImplementedError
 
+    # -- record index (concrete) ----------------------------------------------
+    def _reset_indices(self) -> None:
+        self._record_index = {}
+        self._carved_index = RangeIndex(_record_length)
+
+    def register_record(self, record: CrdtRecord) -> None:
+        """Register ``record``'s id span (and carved span) with the indices."""
+        index = self._record_index.get(record.id.agent)
+        if index is None:
+            index = self._record_index[record.id.agent] = RangeIndex(_record_length)
+        index.register(record.id.seq, record)
+        if record.ph_base is not None:
+            self._carved_index.register(record.ph_base, record)
+
+    def record_at(self, event_id: EventId) -> tuple[CrdtRecord, int]:
+        """The (record, offset) currently covering the character ``event_id``."""
+        index = self._record_index.get(event_id.agent)
+        found = index.find(event_id.seq) if index is not None else None
+        if found is None:
+            raise KeyError(f"no record covers id {event_id}")
+        return found
+
+    def record_spans(self, start_id: EventId, length: int) -> list[tuple[CrdtRecord, int, int]]:
+        """All (record, offset, span_len) covering ids ``start_id .. +length``.
+
+        The spans partition the id range; splits performed after the ids were
+        first applied are reflected (each fragment is returned separately).
+        """
+        spans: list[tuple[CrdtRecord, int, int]] = []
+        seq = start_id.seq
+        end = start_id.seq + length
+        while seq < end:
+            record, offset = self.record_at(EventId(start_id.agent, seq))
+            span_len = min(record.length - offset, end - seq)
+            spans.append((record, offset, span_len))
+            seq += span_len
+        return spans
+
+    def carved_record_at(self, original_offset: int) -> tuple[CrdtRecord, int] | None:
+        """The carved (record, offset) covering an original placeholder offset."""
+        return self._carved_index.find(original_offset)
+
+    def resolve_ref(self, ref: OriginRef) -> tuple[Item, int]:
+        """Resolve an origin reference to the (item, unit offset) holding it."""
+        if isinstance(ref, EventId):
+            return self.record_at(ref)
+        if isinstance(ref, tuple) and len(ref) == 2 and ref[0] == "ph":
+            original_offset = ref[1]
+            carved = self.carved_record_at(original_offset)
+            if carved is not None:
+                return carved
+            return self.resolve_placeholder(original_offset)
+        raise TypeError(f"cannot resolve origin reference {ref!r}")
+
+    def resolve_placeholder(self, original_offset: int) -> tuple[PlaceholderPiece, int]:
+        """The placeholder piece currently holding an original offset."""
+        raise NotImplementedError
+
+
+def _record_length(record: CrdtRecord) -> int:
+    return record.length
+
 
 class ListSequence(SequenceBackend):
     """Internal-state sequence stored in a flat Python list (O(n) operations)."""
 
     def __init__(self, placeholder_length: int = 0) -> None:
+        super().__init__()
         self._items: list[Item] = []
-        self._carved: dict[int, CrdtRecord] = {}
         self.clear(placeholder_length)
 
     # -- construction / reset -------------------------------------------------
     def clear(self, placeholder_length: int) -> None:
         self._items = []
-        self._carved = {}
+        self._reset_indices()
         if placeholder_length > 0:
             self._items.append(PlaceholderPiece(base=0, length=placeholder_length))
 
@@ -169,17 +275,15 @@ class ListSequence(SequenceBackend):
                 return Cursor(item, 0)
             visible = item.prepare_units
             if visible >= remaining:
-                if isinstance(item, PlaceholderPiece):
-                    if visible == remaining:
-                        # The gap right after this piece: expressed as a
-                        # cursor before the *next* item so that a split is
-                        # avoided when possible.
-                        continue_from = remaining
-                        return self._cursor_after(item, continue_from)
-                    return Cursor(item, remaining)
-                # A record contributes at most one visible unit; the gap after
-                # it is before the next item.
-                return self._cursor_after(item, 1)
+                if visible == remaining:
+                    # The gap right after this item: expressed as a cursor
+                    # before the *next* item so that a split is avoided when
+                    # possible (and so concurrent siblings after the item are
+                    # scanned by the integration rule).
+                    return self._cursor_after(item)
+                # Strictly inside a multi-unit item (prepare-visible items
+                # have unit offset == prepare offset).
+                return Cursor(item, remaining)
             remaining -= visible
         if remaining != 0:
             raise IndexError(
@@ -188,11 +292,9 @@ class ListSequence(SequenceBackend):
             )
         return Cursor(None)
 
-    def _cursor_after(self, item: Item, consumed_units: int) -> Cursor:
-        """Cursor at the gap after consuming ``consumed_units`` of ``item``."""
-        if isinstance(item, PlaceholderPiece) and consumed_units < item.length:
-            return Cursor(item, consumed_units)
-        idx = self._items.index(item)
+    def _cursor_after(self, item: Item) -> Cursor:
+        """Cursor at the gap immediately after all units of ``item``."""
+        idx = self._index_of_item(item)
         if idx + 1 < len(self._items):
             return Cursor(self._items[idx + 1], 0)
         return Cursor(None)
@@ -202,7 +304,7 @@ class ListSequence(SequenceBackend):
         for item in self._items:
             visible = item.prepare_units
             if visible > remaining:
-                return item, remaining if isinstance(item, PlaceholderPiece) else 0
+                return item, remaining
             remaining -= visible
         raise IndexError(
             f"delete position {prepare_pos} beyond prepare-visible length "
@@ -211,37 +313,32 @@ class ListSequence(SequenceBackend):
 
     def origin_left_of_cursor(self, cursor: Cursor) -> OriginRef:
         if cursor.item is not None and cursor.offset > 0:
-            piece = cursor.item
-            assert isinstance(piece, PlaceholderPiece)
-            return placeholder_origin(piece.base + cursor.offset - 1)
-        idx = len(self._items) if cursor.at_end else self._items.index(cursor.item)
+            return _ref_to_unit(cursor.item, cursor.offset - 1)
+        idx = len(self._items) if cursor.at_end else self._index_of_item(cursor.item)
         if idx == 0:
             return None
         prev = self._items[idx - 1]
-        if isinstance(prev, PlaceholderPiece):
-            return placeholder_origin(prev.base + prev.length - 1)
-        return prev
+        return _ref_to_unit(prev, prev.units - 1)
 
     def next_existing_in_prepare(self, cursor: Cursor) -> OriginRef:
         if cursor.at_end:
             return None
-        start = self._items.index(cursor.item)
+        start = self._index_of_item(cursor.item)
         for item in self._items[start:]:
+            offset = cursor.offset if item is cursor.item else 0
             if isinstance(item, PlaceholderPiece):
-                offset = cursor.offset if item is cursor.item else 0
                 return placeholder_origin(item.base + offset)
             if item.exists_in_prepare:
-                return item
+                return item.id_at(offset)
         return None
 
-    def unit_position_of_ref(self, ref: OriginRef) -> int:
-        item, offset = self._resolve_ref(ref)
+    def unit_position_of_item(self, item: Item, offset: int = 0) -> int:
         pos = 0
         for other in self._items:
             if other is item:
                 return pos + offset
             pos += other.units
-        raise KeyError(f"reference {ref!r} not found in sequence")
+        raise KeyError(f"item {item!r} not found in sequence")
 
     def effect_position_of_item(self, item: Item, offset: int = 0) -> int:
         pos = 0
@@ -254,7 +351,7 @@ class ListSequence(SequenceBackend):
     def iter_items_from_cursor(self, cursor: Cursor) -> Iterator[Item]:
         if cursor.at_end:
             return iter(())
-        start = self._items.index(cursor.item)
+        start = self._index_of_item(cursor.item)
         return iter(self._items[start:])
 
     def iter_items(self) -> Iterator[Item]:
@@ -264,37 +361,56 @@ class ListSequence(SequenceBackend):
     def insert_record_at_cursor(self, cursor: Cursor, record: CrdtRecord) -> None:
         if cursor.at_end:
             self._items.append(record)
+            self.register_record(record)
             return
-        idx = self._items.index(cursor.item)
+        idx = self._index_of_item(cursor.item)
         if cursor.offset > 0:
-            piece = cursor.item
-            assert isinstance(piece, PlaceholderPiece)
-            left, right = self._split_piece(piece, cursor.offset)
-            self._items[idx : idx + 1] = [left, record, right]
+            target = cursor.item
+            if isinstance(target, PlaceholderPiece):
+                left, right = self._split_piece(target, cursor.offset)
+                self._items[idx : idx + 1] = [left, record, right]
+            else:
+                right = target.split(cursor.offset)
+                self._items[idx + 1 : idx + 1] = [record, right]
+                self.register_record(right)
+            self.register_record(record)
             return
         self._items.insert(idx, record)
+        self.register_record(record)
 
     def insert_record_before_item(self, target: Item | None, record: CrdtRecord) -> None:
         if target is None:
             self._items.append(record)
-            return
-        idx = self._items.index(target)
-        self._items.insert(idx, record)
+        else:
+            self._items.insert(self._index_of_item(target), record)
+        self.register_record(record)
 
-    def convert_placeholder_unit(
+    def convert_placeholder_run(
         self, piece: PlaceholderPiece, offset: int, record: CrdtRecord
     ) -> None:
-        idx = self._items.index(piece)
+        idx = self._index_of_item(piece)
+        right_start = offset + record.length
+        if right_start > piece.length:
+            raise ValueError("carved run exceeds the placeholder piece")
         replacement: list[Item] = []
         if offset > 0:
             replacement.append(PlaceholderPiece(base=piece.base, length=offset))
         replacement.append(record)
-        if offset + 1 < piece.length:
+        if right_start < piece.length:
             replacement.append(
-                PlaceholderPiece(base=piece.base + offset + 1, length=piece.length - offset - 1)
+                PlaceholderPiece(base=piece.base + right_start, length=piece.length - right_start)
             )
         self._items[idx : idx + 1] = replacement
-        self._carved[piece.base + offset] = record
+        if record.ph_base is None:
+            record.ph_base = piece.base + offset
+        self.register_record(record)
+
+    def split_record(self, record: CrdtRecord, offset: int) -> CrdtRecord:
+        idx = self._index_of_item(record)
+        right = record.split(offset)
+        self._items.insert(idx + 1, right)
+        self.register_record(right)
+        return right
 
     def update_item_counts(self, item: Item, d_prepare: int, d_effect: int) -> None:
         # The list backend recomputes counts on demand, so nothing to do.
@@ -314,6 +430,12 @@ class ListSequence(SequenceBackend):
         return len(self._items)
 
     # -- helpers --------------------------------------------------------------
+    def _index_of_item(self, item: Item) -> int:
+        for i, candidate in enumerate(self._items):
+            if candidate is item:
+                return i
+        raise KeyError(f"item {item!r} not found in sequence")
+
     def _split_piece(
         self, piece: PlaceholderPiece, offset: int
     ) -> tuple[PlaceholderPiece, PlaceholderPiece]:
@@ -322,17 +444,16 @@ class ListSequence(SequenceBackend):
         right = PlaceholderPiece(base=piece.base + offset, length=piece.length - offset)
         return left, right
 
-    def _resolve_ref(self, ref: OriginRef) -> tuple[Item, int]:
-        if isinstance(ref, CrdtRecord):
-            return ref, 0
-        if isinstance(ref, tuple) and len(ref) == 2 and ref[0] == "ph":
-            original_offset = ref[1]
-            carved = self._carved.get(original_offset)
-            if carved is not None:
-                return carved, 0
-            for item in self._items:
-                if isinstance(item, PlaceholderPiece):
-                    if item.base <= original_offset < item.base + item.length:
-                        return item, original_offset - item.base
-            raise KeyError(f"placeholder offset {original_offset} not found")
-        raise TypeError(f"cannot resolve origin reference {ref!r}")
+    def resolve_placeholder(self, original_offset: int) -> tuple[PlaceholderPiece, int]:
+        for item in self._items:
+            if isinstance(item, PlaceholderPiece):
+                if item.base <= original_offset < item.base + item.length:
+                    return item, original_offset - item.base
+        raise KeyError(f"placeholder offset {original_offset} not found")
+
+
+def _ref_to_unit(item: Item, offset: int) -> OriginRef:
+    """Id-based reference to the ``offset``-th unit of ``item``."""
+    if isinstance(item, PlaceholderPiece):
+        return placeholder_origin(item.base + offset)
+    return item.id_at(offset)

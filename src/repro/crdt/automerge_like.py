@@ -22,7 +22,7 @@ columnar format; DESIGN.md §2 records the substitution.
 
 from __future__ import annotations
 
-from ..core.event_graph import EventGraph
+from ..core.event_graph import EventGraph, expand_to_chars
 from ..core.ids import EventId, OpKind, delete_op, insert_op
 from ..storage.varint import ByteReader, ByteWriter
 from .ref_crdt import RefCRDTDocument
@@ -49,7 +49,11 @@ class AutomergeLikeDocument(RefCRDTDocument):
     def save(self) -> bytes:
         if self.source_graph is None:
             raise RuntimeError("nothing to save: merge an event graph first")
-        graph = self.source_graph
+        # Automerge stores one row per *operation* — per character — so the
+        # run-event graph is expanded to the per-character oracle form first
+        # (runs are only formed over the actor column, matching the real
+        # format's cost profile that Figure 11 measures).
+        graph = expand_to_chars(self.source_graph)
         writer = ByteWriter()
         writer.write_bytes(_MAGIC)
 

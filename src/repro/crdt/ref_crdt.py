@@ -61,50 +61,80 @@ class RefCRDTDocument:
     # Merging (the timed operation of Figure 8)
     # ------------------------------------------------------------------
     def merge_event_graph(self, graph: EventGraph) -> str:
-        """Integrate an entire remote editing history into this document."""
+        """Integrate an entire remote editing history into this document.
+
+        The replay itself is run-length encoded (the shared Eg-walker
+        machinery); the *retained* state is expanded to one item per
+        character, because that is exactly the cost profile of a traditional
+        CRDT that this baseline exists to measure.
+        """
         causal = CausalGraph(graph)
         state = InternalState(TreeSequence(0))
         order = sort_branch_aware(graph, range(len(graph)))
+        # Per-character content of every insert run, keyed by the run's first
+        # character id (content of character (agent, seq+k) is content[k]).
         content_of: dict[EventId, str] = {}
 
         prepare_version: tuple[int, ...] = ()
         for idx in order:
             event = graph[idx]
+            op = event.op
             if prepare_version != event.parents:
                 only_prepare, only_target = causal.diff(prepare_version, event.parents)
                 for other in reversed(only_prepare):
-                    state.retreat(graph.id_of(other), graph[other].op.is_insert)
+                    other_op = graph[other].op
+                    state.retreat(graph.id_of(other), other_op.is_insert, other_op.length)
                 for other in only_target:
-                    state.advance(graph.id_of(other), graph[other].op.is_insert)
-            if event.op.is_insert:
-                state.apply_insert(event.id, event.op.pos)
-                content_of[event.id] = event.op.content
+                    other_op = graph[other].op
+                    state.advance(graph.id_of(other), other_op.is_insert, other_op.length)
+            if op.is_insert:
+                state.apply_insert(event.id, op.pos, op.length)
+                content_of[event.id] = op.content
             else:
-                state.apply_delete(event.id, event.op.pos)
+                state.apply_delete(event.id, op.pos, op.length)
             prepare_version = (idx,)
 
-        self._materialise(state, content_of)
+        self._materialise(graph, state, content_of)
         return self.text
 
-    def _materialise(self, state: InternalState, content_of: dict[EventId, str]) -> None:
-        """Turn the replay's record sequence into the persistent CRDT state."""
+    def _materialise(
+        self, graph: EventGraph, state: InternalState, content_of: dict[EventId, str]
+    ) -> None:
+        """Turn the replay's record sequence into the persistent CRDT state.
+
+        Record runs are expanded into per-character items: the first character
+        of a run keeps the run's origins, each later character chains onto its
+        predecessor (the same expansion the converter performs).
+        """
         items: list[_StoredItem] = []
         text_parts: list[str] = []
         for record in state.iter_records():
             if not isinstance(record, CrdtRecord):  # pragma: no cover - defensive
                 raise RuntimeError("placeholders cannot appear in a full replay")
-            content = content_of.get(record.id, "")
-            item = _StoredItem(
-                agent=record.id.agent,
-                seq=record.id.seq,
-                origin_left=_origin_id(record.origin_left),
-                origin_right=_origin_id(record.origin_right),
-                content=content,
-                deleted=record.ever_deleted,
-            )
-            items.append(item)
-            if not item.deleted:
-                text_parts.append(content)
+            run_event_index, run_offset = graph.locate(record.id)
+            run_start = graph[run_event_index].id
+            run_content = content_of.get(run_start, "")
+            for k in range(record.length):
+                char_id = record.id.advance(k)
+                offset_in_run = run_offset + k
+                content = (
+                    run_content[offset_in_run] if offset_in_run < len(run_content) else ""
+                )
+                item = _StoredItem(
+                    agent=char_id.agent,
+                    seq=char_id.seq,
+                    origin_left=(
+                        _origin_id(record.origin_left)
+                        if k == 0
+                        else EventId(char_id.agent, char_id.seq - 1)
+                    ),
+                    origin_right=_origin_id(record.origin_right),
+                    content=content,
+                    deleted=record.ever_deleted,
+                )
+                items.append(item)
+                if not item.deleted:
+                    text_parts.append(content)
         self.items = items
         self.by_id = {EventId(i.agent, i.seq): i for i in items}
         self.text = "".join(text_parts)
@@ -201,8 +231,8 @@ class RefCRDTDocument:
 def _origin_id(ref) -> EventId | None:
     if ref is None:
         return None
-    if isinstance(ref, CrdtRecord):
-        return ref.id
+    if isinstance(ref, EventId):
+        return ref
     raise TypeError("unexpected placeholder origin in a full replay")
 
 

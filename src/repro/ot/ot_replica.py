@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.causal_graph import CausalGraph
-from ..core.event_graph import EventGraph, Version
+from ..core.event_graph import EventGraph, Version, expand_to_chars
 from ..core.ids import Operation
 from ..core.topo_sort import sort_branch_aware
 
@@ -85,7 +85,15 @@ class OTDocument:
 
 
 def replay_ot(graph: EventGraph) -> OtReplayResult:
-    """Replay ``graph`` with the TTF-style OT merge described above."""
+    """Replay ``graph`` with the TTF-style OT merge described above.
+
+    TTF interprets every single-character operation against its own tombstone
+    cell, so a run-event graph is first expanded to the per-character oracle
+    form — per-character work is precisely the OT cost profile the benchmarks
+    measure this baseline for.
+    """
+    if any(event.op.length > 1 for event in graph.events()):
+        graph = expand_to_chars(graph)
     causal = CausalGraph(graph)
     order = sort_branch_aware(graph, range(len(graph)))
 

@@ -1,17 +1,16 @@
 """Columnar event-graph file format (paper §3.8).
 
 The event graph is stored in column-oriented form, exploiting how people type:
-runs of consecutive insertions or deletions compress to a few bytes, parents
-are implicit for the (overwhelmingly common) case of a linear history, and
-event ids compress to runs of ``(agent, first_seq, count)``.
+the graph itself is run-length encoded (one event per run of consecutive
+insertions or deletions, see :mod:`repro.core.event_graph`), so the file
+stores **one row per run** — O(runs), not O(chars) — parents are implicit for
+the (overwhelmingly common) case of a linear history, and event ids compress
+to runs of ``(agent, first_seq, char_count)`` spanning consecutive events.
 
 Columns (each length-prefixed in the file, after a small header):
 
 ``ops``
-    Runs of ``(kind, start_position, run_length)``.  A run covers consecutive
-    events by the same pattern: insertions at consecutive indexes
-    (``pos, pos+1, ...``), forward deletions at a constant index, or backspace
-    deletions at decreasing indexes.
+    One ``(kind, start_position, length)`` row per run event.
 ``content``
     The UTF-8 concatenation of all inserted characters, in event order
     (optionally LZ-compressed, and optionally restricted to characters that
@@ -20,7 +19,9 @@ Columns (each length-prefixed in the file, after a small header):
     Exceptions to the default "parent = previous event" rule, as
     ``(event_index, parent_count, parent_back_references...)``.
 ``agents`` / ``ids``
-    The agent name table and runs of event ids.
+    The agent name table and runs of character ids; one id run can span many
+    consecutive events by the same agent (the decoder slices it back into
+    per-event start ids using the ops column's lengths).
 ``snapshot`` (optional)
     A cached copy of the final document text so documents can be loaded
     without replaying the graph (§3.8, "Replicas can optionally also store a
@@ -43,7 +44,9 @@ from .varint import ByteReader, ByteWriter
 __all__ = ["EncodeOptions", "DecodedFile", "encode_event_graph", "decode_event_graph"]
 
 _MAGIC = b"EGWK"
-_FORMAT_VERSION = 1
+#: Version 2: run-length encoded rows (one per run event).  Version 1 stored
+#: one row per character and is no longer produced or accepted.
+_FORMAT_VERSION = 2
 
 _FLAG_COMPRESS_CONTENT = 1
 _FLAG_PRUNED = 2
@@ -122,85 +125,57 @@ def encode_event_graph(graph: EventGraph, options: EncodeOptions | None = None) 
 
 
 def _encode_ops_column(graph: EventGraph) -> bytes:
+    """One (kind, start_pos, length) row per run event — O(runs) rows."""
     writer = ByteWriter()
-    events = graph.events()
-    i = 0
-    n = len(events)
-    while i < n:
-        first = events[i].op
-        kind = first.kind
-        start_pos = first.pos
-        run_len = 1
-        direction = 0  # 0: constant (delete-forward), +1: ascending, -1: descending
-        j = i + 1
-        while j < n:
-            op = events[j].op
-            if op.kind != kind:
-                break
-            expected_parent = (events[j].parents == (j - 1,))
-            if not expected_parent:
-                break
-            prev = events[j - 1].op
-            if kind is OpKind.INSERT:
-                if op.pos != prev.pos + 1:
-                    break
-                step = 1
-            else:
-                if op.pos == prev.pos:
-                    step = 0
-                elif op.pos == prev.pos - 1:
-                    step = -1
-                else:
-                    break
-                if run_len == 1:
-                    direction = step
-                elif step != direction:
-                    break
-            run_len += 1
-            j += 1
-        header = int(kind) | ((direction & 0x3) << 1)
-        writer.write_uvarint(header)
-        writer.write_svarint(start_pos)
-        writer.write_uvarint(run_len)
-        i = j
+    for event in graph.events():
+        op = event.op
+        writer.write_uvarint(int(op.kind))
+        writer.write_svarint(op.pos)
+        writer.write_uvarint(op.length)
     return writer.getvalue()
 
 
 def _encode_content_column(graph: EventGraph, options: EncodeOptions) -> bytes:
-    survived: set[int] | None = None
+    survived: dict[int, list[bool]] | None = None
     if options.prune_deleted_content:
         survived = _surviving_insertions(graph)
     parts: list[str] = []
     for event in graph.events():
         if not event.op.is_insert:
             continue
-        if survived is not None and event.index not in survived:
+        if survived is None:
+            parts.append(event.op.content)
             continue
-        parts.append(event.op.content)
+        mask = survived.get(event.index)
+        if mask is None:
+            continue
+        parts.append("".join(c for c, keep in zip(event.op.content, mask) if keep))
     raw = "".join(parts).encode("utf-8")
     if options.compress_content:
         raw = compression.compress(raw)
     return raw
 
 
-def _surviving_insertions(graph: EventGraph) -> set[int]:
-    """Indices of insertion events whose character is never deleted.
+def _surviving_insertions(graph: EventGraph) -> dict[int, list[bool]]:
+    """Per-character survival masks for every insertion event.
 
-    A character inserted by event ``i`` is deleted if any delete event
-    targets it; we find targets by replaying the graph once with the walker's
-    conversion machinery (cheap relative to encoding, and exact).
+    ``mask[k]`` is True iff the ``k``-th character of the run was never
+    deleted.  Deleted characters are found by replaying the graph once with
+    the walker's conversion machinery (cheap relative to encoding, and exact).
     """
     from ..crdt.converter import event_graph_to_crdt_ops
     from ..crdt.list_crdt import CrdtDeleteOp
 
-    deleted_ids = set()
+    deleted_ids: set[EventId] = set()
     for op in event_graph_to_crdt_ops(graph):
         if isinstance(op, CrdtDeleteOp):
             deleted_ids.add(op.target)
-    survived = set()
+    survived: dict[int, list[bool]] = {}
     for event in graph.events():
-        if event.op.is_insert and event.id not in deleted_ids:
-            survived.add(event.index)
+        if event.op.is_insert:
+            survived[event.index] = [
+                event.id_at(k) not in deleted_ids for k in range(event.op.length)
+            ]
     return survived
 
 
@@ -226,14 +201,16 @@ def _encode_parents_column(graph: EventGraph) -> bytes:
 
 
 def _encode_ids_column(graph: EventGraph) -> bytes:
+    """Runs of (agent, first_seq, char_count), possibly spanning many events."""
     writer = ByteWriter()
     runs: list[tuple[str, int, int]] = []
     for event in graph.events():
         agent, seq = event.id
+        length = event.op.length
         if runs and runs[-1][0] == agent and runs[-1][1] + runs[-1][2] == seq:
-            runs[-1] = (agent, runs[-1][1], runs[-1][2] + 1)
+            runs[-1] = (agent, runs[-1][1], runs[-1][2] + length)
         else:
-            runs.append((agent, seq, 1))
+            runs.append((agent, seq, length))
     agents: list[str] = []
     agent_index: dict[str, int] = {}
     for agent, _, _ in runs:
@@ -277,24 +254,25 @@ def decode_event_graph(data: bytes) -> DecodedFile:
 
     ops = _decode_ops_column(ops_col, num_events)
     parents = _decode_parents_column(parents_col, num_events)
-    ids = _decode_ids_column(ids_col, num_events)
+    lengths = [length for _, _, length in ops]
+    ids = _decode_ids_column(ids_col, lengths)
 
     graph = EventGraph()
-    content_iter = iter(content)
-    survived_check_needed = pruned
+    content_pos = 0
     for index in range(num_events):
-        kind, pos = ops[index]
+        kind, pos, length = ops[index]
         if kind is OpKind.INSERT:
-            if survived_check_needed:
+            if pruned:
                 # In pruned mode we cannot know which characters were deleted
                 # without replaying, so deleted characters decode as the
                 # sentinel and surviving ones are filled in afterwards.
-                char = PRUNED_CHAR
+                text = PRUNED_CHAR * length
             else:
-                char = next(content_iter)
-            op = insert_op(pos, char)
+                text = content[content_pos : content_pos + length]
+                content_pos += length
+            op = insert_op(pos, text)
         else:
-            op = delete_op(pos)
+            op = delete_op(pos, length)
         graph.add_event(ids[index], parents[index], op, parents_are_indices=True)
 
     if pruned:
@@ -309,30 +287,23 @@ def _fill_pruned_content(graph: EventGraph, surviving_content: str) -> None:
     survived = _surviving_insertions(graph)
     content_iter = iter(surviving_content)
     for event in graph.events():
-        if event.op.is_insert and event.index in survived:
-            char = next(content_iter, PRUNED_CHAR)
-            object.__setattr__(event.op, "content", char)
+        if not event.op.is_insert:
+            continue
+        mask = survived.get(event.index, [])
+        chars = [
+            next(content_iter, PRUNED_CHAR) if keep else PRUNED_CHAR for keep in mask
+        ]
+        object.__setattr__(event.op, "content", "".join(chars))
 
 
-def _decode_ops_column(data: bytes, num_events: int) -> list[tuple[OpKind, int]]:
+def _decode_ops_column(data: bytes, num_events: int) -> list[tuple[OpKind, int, int]]:
     reader = ByteReader(data)
-    ops: list[tuple[OpKind, int]] = []
-    while len(ops) < num_events:
-        header = reader.read_uvarint()
-        kind = OpKind(header & 0x1)
-        direction_bits = (header >> 1) & 0x3
-        direction = -1 if direction_bits == 0x3 else direction_bits
-        start_pos = reader.read_svarint()
-        run_len = reader.read_uvarint()
-        pos = start_pos
-        for k in range(run_len):
-            ops.append((kind, pos))
-            if kind is OpKind.INSERT:
-                pos += 1
-            else:
-                pos += direction
-    if len(ops) != num_events:
-        raise ValueError("ops column does not match event count")
+    ops: list[tuple[OpKind, int, int]] = []
+    for _ in range(num_events):
+        kind = OpKind(reader.read_uvarint())
+        pos = reader.read_svarint()
+        length = reader.read_uvarint()
+        ops.append((kind, pos, length))
     return ops
 
 
@@ -351,18 +322,28 @@ def _decode_parents_column(data: bytes, num_events: int) -> list[tuple[int, ...]
     return parents
 
 
-def _decode_ids_column(data: bytes, num_events: int) -> list[EventId]:
+def _decode_ids_column(data: bytes, lengths: list[int]) -> list[EventId]:
+    """Slice the id runs back into per-event start ids using event lengths."""
     reader = ByteReader(data)
     agent_count = reader.read_uvarint()
     agents = [reader.read_string() for _ in range(agent_count)]
     run_count = reader.read_uvarint()
     ids: list[EventId] = []
+    event = 0
     for _ in range(run_count):
         agent = agents[reader.read_uvarint()]
-        start_seq = reader.read_uvarint()
-        count = reader.read_uvarint()
-        for offset in range(count):
-            ids.append(EventId(agent, start_seq + offset))
-    if len(ids) != num_events:
+        seq = reader.read_uvarint()
+        remaining = reader.read_uvarint()
+        while remaining > 0:
+            if event >= len(lengths):
+                raise ValueError("ids column does not match event count")
+            length = lengths[event]
+            if length > remaining:
+                raise ValueError("id run does not align with event boundaries")
+            ids.append(EventId(agent, seq))
+            seq += length
+            remaining -= length
+            event += 1
+    if event != len(lengths):
         raise ValueError("ids column does not match event count")
     return ids

@@ -30,11 +30,18 @@ __all__ = ["TraceStats", "compute_stats"]
 
 @dataclass(slots=True)
 class TraceStats:
-    """One row of Table 1."""
+    """One row of Table 1.
+
+    ``events``, ``inserts`` and ``deletes`` count *characters* (the paper's
+    per-keystroke events), so they are invariant under run-length encoding;
+    ``run_events`` counts the run events the graph actually stores — the
+    ratio between the two is the RLE win.
+    """
 
     name: str
     kind: str
     events: int
+    run_events: int
     inserts: int
     deletes: int
     average_concurrency: float
@@ -48,6 +55,7 @@ class TraceStats:
             "name": self.name,
             "type": self.kind,
             "events_k": round(self.events / 1000, 1),
+            "run_events": self.run_events,
             "avg_concurrency": round(self.average_concurrency, 2),
             "graph_runs": self.graph_runs,
             "authors": self.authors,
@@ -59,8 +67,8 @@ class TraceStats:
 def compute_stats(trace: Trace) -> TraceStats:
     """Compute the Table 1 statistics for ``trace``."""
     graph = trace.graph
-    inserts = sum(1 for e in graph.events() if e.op.is_insert)
-    deletes = len(graph) - inserts
+    inserts = sum(e.op.length for e in graph.events() if e.op.is_insert)
+    deletes = graph.num_chars - inserts
 
     average_concurrency = _average_concurrency(graph)
     graph_runs = _graph_runs(graph)
@@ -73,7 +81,8 @@ def compute_stats(trace: Trace) -> TraceStats:
     return TraceStats(
         name=trace.name,
         kind=trace.kind,
-        events=len(graph),
+        events=graph.num_chars,
+        run_events=len(graph),
         inserts=inserts,
         deletes=deletes,
         average_concurrency=average_concurrency,

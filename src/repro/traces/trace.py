@@ -43,6 +43,15 @@ class Trace:
 
     @property
     def num_events(self) -> int:
+        """Number of per-character events (the paper's Table-1 event count).
+
+        The graph stores run events; each covers ``op.length`` characters.
+        """
+        return self.graph.num_chars
+
+    @property
+    def num_run_events(self) -> int:
+        """Number of run events the graph actually stores."""
         return len(self.graph)
 
     @property
@@ -56,5 +65,6 @@ class Trace:
     def summary_line(self) -> str:
         return (
             f"{self.name:4s} {self.kind:13s} events={self.num_events:7d} "
-            f"authors={self.authors:3d} final={len(self.final_text)} chars"
+            f"runs={self.num_run_events:6d} authors={self.authors:3d} "
+            f"final={len(self.final_text)} chars"
         )

@@ -38,18 +38,20 @@ class TestLocalEditing:
         with pytest.raises(IndexError):
             doc.delete(1, 5)
 
-    def test_events_are_per_character(self):
+    def test_events_are_run_length_encoded(self):
         doc = Document("alice")
         doc.insert(0, "abc")
         doc.delete(0, 2)
-        assert len(doc.oplog) == 5
+        # One event per run, covering all its characters.
+        assert len(doc.oplog) == 2
+        assert doc.oplog.graph.num_chars == 5
 
     def test_version_advances_with_edits(self):
         doc = Document("alice")
         assert doc.version == ()
-        doc.insert(0, "a")
+        doc.insert(0, "ab")
         assert doc.version == (0,)
-        doc.insert(1, "b")
+        doc.insert(2, "cd")
         assert doc.version == (1,)
 
 
@@ -60,7 +62,9 @@ class TestMerging:
         bob = Document("bob")
         ops = bob.merge(alice)
         assert bob.text == "hello"
-        assert len(ops) == 5
+        # The whole run arrives as a single transformed operation.
+        assert len(ops) == 1
+        assert ops[0].content == "hello"
 
     def test_merge_is_idempotent(self):
         alice = Document("alice")
@@ -159,10 +163,19 @@ class TestHistory:
 
     def test_history_versions_enumeration(self):
         doc = Document("alice")
-        doc.insert(0, "xy")
+        doc.insert(0, "x")
+        doc.insert(1, "y")
         versions = doc.history_versions()
         assert versions == [(0,), (1,)]
         assert [doc.text_at(v) for v in versions] == ["x", "xy"]
+
+    def test_history_versions_are_per_run_event(self):
+        doc = Document("alice")
+        doc.insert(0, "xy")
+        doc.delete(0, 1)
+        versions = doc.history_versions()
+        assert versions == [(0,), (1,)]
+        assert [doc.text_at(v) for v in versions] == ["xy", "y"]
 
 
 class TestWalkerConfigurationsOnDocuments:

@@ -34,10 +34,29 @@ class TestConstruction:
             EventId("alice", 2),
         ]
 
-    def test_multi_char_ops_rejected(self):
+    def test_multi_char_ops_stored_as_single_run_event(self):
         graph = EventGraph()
+        event = graph.add_event(
+            EventId("a", 0), (), insert_op(0, "ab"), parents_are_indices=True
+        )
+        assert len(graph) == 1
+        assert event.num_chars == 2
+        assert graph.num_chars == 2
+        # Every character of the run is addressable as (event_index, offset).
+        assert graph.locate(EventId("a", 0)) == (0, 0)
+        assert graph.locate(EventId("a", 1)) == (0, 1)
+        assert graph.next_seq_for("a") == 2
+
+    def test_overlapping_run_ids_rejected(self):
+        graph = EventGraph()
+        graph.add_event(EventId("a", 0), (), insert_op(0, "abc"), parents_are_indices=True)
         with pytest.raises(ValueError):
-            graph.add_event(EventId("a", 0), (), insert_op(0, "ab"), parents_are_indices=True)
+            # New run starts inside an existing run.
+            graph.add_event(EventId("a", 2), (0,), insert_op(0, "x"), parents_are_indices=True)
+        graph.add_event(EventId("a", 5), (0,), insert_op(0, "x"), parents_are_indices=True)
+        with pytest.raises(ValueError):
+            # New run envelops an existing run's start.
+            graph.add_event(EventId("a", 4), (1,), insert_op(0, "xy"), parents_are_indices=True)
 
     def test_duplicate_id_rejected(self):
         graph = linear_graph("a")
@@ -83,6 +102,23 @@ class TestRemoteEventsAndMerge:
         assert result is None
         assert len(graph) == 2
 
+    def test_add_remote_event_partial_run_overlap_rejected(self):
+        graph = EventGraph()
+        graph.add_local_event("a", insert_op(0, "abc"))
+        # Exact redelivery of the whole run is idempotent ...
+        assert graph.add_remote_event(EventId("a", 0), (), insert_op(0, "abc")) is None
+        # ... but a run overlapping only part of it is a protocol violation.
+        with pytest.raises(ValueError):
+            graph.add_remote_event(EventId("a", 1), (), insert_op(0, "zz"))
+
+    def test_merge_from_rejects_partially_overlapping_runs(self):
+        ours = EventGraph()
+        ours.add_event(EventId("a", 0), (), insert_op(0, "ab"), parents_are_indices=True)
+        theirs = EventGraph()
+        theirs.add_event(EventId("a", 0), (), insert_op(0, "abcde"), parents_are_indices=True)
+        with pytest.raises(ValueError):
+            ours.merge_from(theirs)
+
     def test_add_remote_event_with_missing_parent_raises(self):
         graph = EventGraph()
         with pytest.raises(KeyError):
@@ -116,7 +152,14 @@ class TestSummary:
         graph = linear_graph("abc")
         graph.add_local_event("a", delete_op(0))
         summary = graph.summary()
-        assert summary == {"events": 4, "inserts": 3, "deletes": 1, "agents": 1}
+        assert summary == {"events": 4, "chars": 4, "inserts": 3, "deletes": 1, "agents": 1}
+
+    def test_summary_counts_chars_of_runs(self):
+        graph = EventGraph()
+        graph.add_local_event("a", insert_op(0, "hello"))
+        graph.add_local_event("a", delete_op(1, 2))
+        summary = graph.summary()
+        assert summary == {"events": 2, "chars": 7, "inserts": 5, "deletes": 2, "agents": 1}
 
     def test_next_seq_for_unknown_agent(self):
         graph = EventGraph()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.ids import EventId
-from repro.core.internal_state import InternalState
+from repro.core.internal_state import DeleteSegment, InternalState
 from repro.core.order_statistic_tree import TreeSequence
 from repro.core.records import INSERTED, NOT_YET_INSERTED, CrdtRecord
 from repro.core.sequence import ListSequence
@@ -37,13 +37,24 @@ class TestApplyInsert:
         assert effect_pos == 1
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_records_registered_in_id_map(self, backend):
+    def test_records_registered_in_id_index(self, backend):
         state = make_state(backend)
         state.apply_insert(EventId("a", 0), 0)
-        record = state.id_map[EventId("a", 0)]
+        record = state.record_for(EventId("a", 0))
         assert isinstance(record, CrdtRecord)
         assert record.prepare_state == INSERTED
         assert not record.ever_deleted
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_insert_run_creates_one_record(self, backend):
+        state = make_state(backend)
+        effect_pos = state.apply_insert(EventId("a", 0), 0, 5)
+        assert effect_pos == 0
+        assert state.prepare_length() == 5
+        assert state.effect_length() == 5
+        assert state.record_count() == 1
+        # Every character of the run resolves to the same record.
+        assert state.record_for(EventId("a", 0)) is state.record_for(EventId("a", 4))
 
 
 class TestApplyDelete:
@@ -52,29 +63,45 @@ class TestApplyDelete:
         state = make_state(backend)
         for i in range(3):
             state.apply_insert(EventId("a", i), i)
-        effect_pos = state.apply_delete(EventId("a", 3), 1)
-        assert effect_pos == 1
+        segments = state.apply_delete(EventId("a", 3), 1)
+        assert [(s.length, s.effect_pos) for s in segments] == [(1, 1)]
         assert state.prepare_length() == 2
         assert state.effect_length() == 2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delete_run_splits_insert_run(self, backend):
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0, 6)
+        segments = state.apply_delete(EventId("b", 0), 2, 3)
+        assert [(s.length, s.effect_pos) for s in segments] == [(3, 2)]
+        assert state.prepare_length() == 3
+        assert state.effect_length() == 3
+        # The run is now three spans: kept | deleted | kept.
+        assert state.record_count() == 3
+        assert state.record_for(EventId("a", 2)).ever_deleted
+        assert not state.record_for(EventId("a", 0)).ever_deleted
+        assert not state.record_for(EventId("a", 5)).ever_deleted
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_double_delete_is_noop(self, backend):
         """Two concurrent deletions of the same character (Lemma C.7 case 2)."""
         state = make_state(backend)
         state.apply_insert(EventId("a", 0), 0)
-        assert state.apply_delete(EventId("b", 0), 0) == 0
+        segments = state.apply_delete(EventId("b", 0), 0)
+        assert [(s.length, s.effect_pos) for s in segments] == [(1, 0)]
         # Concurrent second delete: retreat the first, then apply the second.
         state.retreat(EventId("b", 0), is_insert=False)
-        assert state.apply_delete(EventId("c", 0), 0) is None
+        segments = state.apply_delete(EventId("c", 0), 0)
+        assert [(s.length, s.effect_pos) for s in segments] == [(1, None)]
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_delete_inside_placeholder(self, backend):
         state = make_state(backend, placeholder=10)
-        effect_pos = state.apply_delete(EventId("a", 0), 4)
-        assert effect_pos == 4
+        segments = state.apply_delete(EventId("a", 0), 4)
+        assert [(s.length, s.effect_pos) for s in segments] == [(1, 4)]
         assert state.prepare_length() == 9
         assert state.effect_length() == 9
-        record = state.id_map[EventId("a", 0)]
+        record = state.record_for(EventId("a", 0))
         assert record.ever_deleted
         assert record.prepare_state == INSERTED + 1
 
@@ -88,7 +115,7 @@ class TestRetreatAdvance:
         state.retreat(EventId("a", 1), is_insert=True)
         assert state.prepare_length() == 1
         assert state.effect_length() == 2
-        record = state.id_map[EventId("a", 1)]
+        record = state.record_for(EventId("a", 1))
         assert record.prepare_state == NOT_YET_INSERTED
 
     @pytest.mark.parametrize("backend", BACKENDS)
@@ -98,7 +125,7 @@ class TestRetreatAdvance:
         state.retreat(EventId("a", 0), is_insert=True)
         state.advance(EventId("a", 0), is_insert=True)
         assert state.prepare_length() == 1
-        assert state.id_map[EventId("a", 0)].prepare_state == INSERTED
+        assert state.record_for(EventId("a", 0)).prepare_state == INSERTED
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_retreat_delete_restores_prepare_visibility(self, backend):
@@ -116,7 +143,7 @@ class TestRetreatAdvance:
         """Walk the s_p state machine of Figure 5: NIY <-> Ins <-> Del1 <-> Del2."""
         state = make_state(backend)
         state.apply_insert(EventId("a", 0), 0)
-        record = state.id_map[EventId("a", 0)]
+        record = state.record_for(EventId("a", 0))
         state.apply_delete(EventId("b", 0), 0)
         assert record.prepare_state == 2  # Del 1
         state.advance(EventId("b", 0), is_insert=False)
@@ -182,7 +209,6 @@ class TestClear:
         for i in range(4):
             state.apply_insert(EventId("a", i), i)
         state.clear(4)
-        assert state.id_map == {}
         assert state.prepare_length() == 4
         assert state.effect_length() == 4
         assert state.record_count() == 1
@@ -194,5 +220,6 @@ class TestClear:
             state.apply_insert(EventId("a", i), i)
         state.clear(4)
         assert state.apply_insert(EventId("b", 0), 2) == 2
-        assert state.apply_delete(EventId("b", 1), 0) == 0
+        segments = state.apply_delete(EventId("b", 1), 0)
+        assert [(s.length, s.effect_pos) for s in segments] == [(1, 0)]
         assert state.effect_length() == 4

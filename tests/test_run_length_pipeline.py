@@ -1,0 +1,331 @@
+"""End-to-end tests for the run-length encoded replay pipeline.
+
+The paper attributes most of Eg-walker's "Faster, Smaller" wins to run-length
+encoding (§4): real traces are dominated by runs of consecutive insertions and
+deletions, and the implementation stores and replays *runs*, not characters.
+These tests pin down the two sides of that claim for this reproduction:
+
+* **Equivalence** — replaying a trace as run events produces byte-identical
+  documents (and final lengths) to the expanded per-character oracle
+  (:func:`repro.core.event_graph.expand_to_chars`), across all sort
+  strategies, both sequence backends, and with the §3.5 optimisations on and
+  off.
+* **Complexity** — a run-encoded sequential trace creates O(runs) events and
+  O(runs) peak CRDT records, not O(chars).
+
+Plus the §3.5–3.6 edge cases the run refactor makes interesting: a single
+delete run spanning a placeholder/record boundary, run splits forced by
+concurrent edits in the middle of a run, and retreat/advance of split runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.document import Document
+from repro.core.event_graph import EventGraph, expand_to_chars
+from repro.core.ids import EventId, delete_op, insert_op
+from repro.core.internal_state import InternalState
+from repro.core.order_statistic_tree import TreeSequence
+from repro.core.records import INSERTED, CrdtRecord, PlaceholderPiece
+from repro.core.sequence import ListSequence
+from repro.core.walker import EgWalker, coalesce_ops
+from repro.traces.generator import (
+    generate_async,
+    generate_concurrent,
+    generate_sequential,
+)
+
+BACKENDS = ["list", "tree"]
+SORT_STRATEGIES = ["branch_aware", "local", "interleaved"]
+
+
+def make_state(backend: str, placeholder: int = 0) -> InternalState:
+    if backend == "tree":
+        return InternalState(TreeSequence(placeholder))
+    return InternalState(ListSequence(placeholder))
+
+
+# ----------------------------------------------------------------------
+# Run/char equivalence property (the correctness oracle)
+# ----------------------------------------------------------------------
+class TestRunCharEquivalence:
+    @pytest.mark.parametrize(
+        "trace_fixture",
+        ["small_sequential_trace", "small_concurrent_trace", "small_async_trace"],
+    )
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("sort_strategy", SORT_STRATEGIES)
+    def test_run_replay_matches_per_char_oracle(
+        self, trace_fixture, backend, sort_strategy, request
+    ):
+        trace = request.getfixturevalue(trace_fixture)
+        graph = trace.graph
+        oracle_graph = expand_to_chars(graph)
+        assert oracle_graph.num_chars == graph.num_chars
+        oracle = EgWalker(
+            oracle_graph, backend="list", enable_clearing=False
+        ).replay_text()
+        for enable_clearing in (True, False):
+            walker = EgWalker(
+                graph,
+                backend=backend,
+                sort_strategy=sort_strategy,
+                enable_clearing=enable_clearing,
+            )
+            result = walker.transform()
+            text = walker.replay_text()
+            assert text == oracle
+            assert result.final_length == len(oracle)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_concurrent_traces_match_oracle(self, seed):
+        trace = generate_concurrent("rle", target_events=160, seed=100 + seed)
+        graph = trace.graph
+        oracle = EgWalker(expand_to_chars(graph), backend="list").replay_text()
+        for backend in BACKENDS:
+            assert EgWalker(graph, backend=backend).replay_text() == oracle
+
+    def test_expansion_is_identity_on_per_char_graphs(self, figure4_graph):
+        expanded = expand_to_chars(figure4_graph)
+        assert len(expanded) == len(figure4_graph)
+        assert [e.id for e in expanded.events()] == [
+            e.id for e in figure4_graph.events()
+        ]
+        assert EgWalker(expanded).replay_text() == EgWalker(figure4_graph).replay_text()
+
+
+# ----------------------------------------------------------------------
+# O(runs) complexity (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestRunComplexity:
+    def test_sequential_run_trace_creates_o_runs_events_and_records(self):
+        """A run-encoded sequential trace: O(runs) events, O(runs) peak records."""
+        doc = Document("alice")
+        runs = 0
+        for i in range(50):
+            doc.insert(len(doc.text), f"sentence number {i}. ")
+            runs += 1
+        for _ in range(10):
+            doc.delete(0, 8)
+            runs += 1
+        graph = doc.oplog.graph
+        chars = graph.num_chars
+        assert len(graph) == runs
+        assert chars > 10 * runs  # the trace really is run-dominated
+
+        # Even with the state-clearing optimisation disabled (so nothing is
+        # ever thrown away), the internal state holds O(runs) span records,
+        # not O(chars): each insert run is one record and each delete run
+        # splits at most two of them.
+        for backend in BACKENDS:
+            walker = EgWalker(graph, backend=backend, enable_clearing=False)
+            walker.replay_text()
+            stats = walker.last_stats
+            assert stats.events_processed == runs
+            assert stats.chars_processed == chars
+            assert stats.peak_records <= 3 * runs
+            assert stats.peak_records < chars / 3
+
+    def test_fast_path_counts_runs_and_chars(self, small_sequential_trace):
+        graph = small_sequential_trace.graph
+        walker = EgWalker(graph, enable_clearing=True)
+        walker.replay_text()
+        stats = walker.last_stats
+        assert stats.events_fast_path == len(graph)
+        assert stats.chars_fast_path == graph.num_chars
+        assert stats.peak_records == 0  # the CRDT state was never touched
+
+    def test_merge_of_run_branches_stays_run_sized(self):
+        """Two branches of run events merge with O(runs) records."""
+        alice = Document("alice")
+        alice.insert(0, "the shared base paragraph. ")
+        bob = Document("bob")
+        bob.merge(alice)
+        for i in range(20):
+            alice.insert(len(alice.text), f"alice writes sentence {i}. ")
+            bob.insert(0, f"bob writes sentence {i}. ")
+        alice.merge(bob)
+        bob.merge(alice)
+        assert alice.text == bob.text
+        graph = alice.oplog.graph
+        walker = EgWalker(graph, enable_clearing=False)
+        walker.replay_text()
+        assert walker.last_stats.peak_records <= 4 * len(graph)
+        assert walker.last_stats.peak_records < graph.num_chars / 4
+
+
+# ----------------------------------------------------------------------
+# Transformed output is run-valued
+# ----------------------------------------------------------------------
+class TestRunTransformedOutput:
+    def test_insert_runs_transform_to_single_ops(self):
+        doc = Document("alice")
+        doc.insert(0, "hello world")
+        other = Document("bob")
+        ops = other.merge(doc)
+        assert len(ops) == 1
+        assert ops[0].content == "hello world"
+
+    def test_delete_run_splits_only_when_concurrency_forces_it(self):
+        # Alice deletes a run that bob concurrently inserted into the middle
+        # of: the transformed delete must come out as two segments.
+        alice = Document("alice")
+        alice.insert(0, "abcdef")
+        bob = Document("bob")
+        bob.merge(alice)
+        bob.insert(3, "XY")  # abcXYdef at bob
+        alice.delete(1, 4)  # delete bcde at alice -> af
+        walker_ops = bob.merge(alice)
+        assert bob.text == "aXYf"
+        deletes = [op for op in walker_ops if op.is_delete]
+        assert len(deletes) == 2
+        assert sum(op.length for op in deletes) == 4
+
+    def test_coalesce_ops_merges_adjacent_runs(self):
+        ops = [
+            insert_op(0, "ab"),
+            insert_op(2, "cd"),
+            delete_op(1, 2),
+            delete_op(1, 1),
+            insert_op(5, "x"),
+        ]
+        merged = coalesce_ops(ops)
+        assert merged == [insert_op(0, "abcd"), delete_op(1, 3), insert_op(5, "x")]
+
+
+# ----------------------------------------------------------------------
+# Placeholder carving and state clearing across boundaries (§3.5–3.6)
+# ----------------------------------------------------------------------
+class TestPlaceholderRunCarving:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delete_run_inside_placeholder_carves_one_record(self, backend):
+        state = make_state(backend, placeholder=20)
+        segments = state.apply_delete(EventId("a", 0), 5, 6)
+        assert [(s.length, s.effect_pos) for s in segments] == [(6, 5)]
+        assert state.prepare_length() == 14
+        assert state.effect_length() == 14
+        # left piece + carved record + right piece
+        assert state.record_count() == 3
+        record = state.record_for(EventId("a", 0))
+        assert record.ever_deleted and record.length == 6
+        assert record.ph_base == 5
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delete_run_spanning_placeholder_and_record_boundary(self, backend):
+        """One delete run covers placeholder chars, an inserted run, and more
+        placeholder chars — it must carve/split into per-boundary segments."""
+        state = make_state(backend, placeholder=10)
+        # An insert run in the middle of the placeholder: [0..4] R(5) [5..9]
+        state.apply_insert(EventId("ins", 0), 5, 3)
+        assert state.prepare_length() == 13
+        # Delete 7 chars starting at 3: placeholder 3..4, the whole inserted
+        # run, then placeholder 5..6.
+        segments = state.apply_delete(EventId("del", 0), 3, 7)
+        assert [s.length for s in segments] == [2, 3, 2]
+        assert [s.effect_pos for s in segments] == [3, 3, 3]
+        assert state.prepare_length() == 6
+        assert state.effect_length() == 6
+        # The inserted run was deleted whole — no split of the record itself.
+        record = state.record_for(EventId("ins", 0))
+        assert record.length == 3 and record.ever_deleted
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delete_run_spanning_boundary_via_walker(self, backend):
+        """The same §3.6 scenario end-to-end: a remote delete run spanning the
+        base-version placeholder and a freshly merged insert run."""
+        alice = Document("alice", backend=backend)
+        alice.insert(0, "0123456789")
+        bob = Document("bob", backend=backend)
+        bob.merge(alice)
+        bob.insert(5, "XYZ")  # 01234XYZ56789 at bob
+        alice.delete(3, 4)  # delete 3456 at alice -> 012789
+        alice.merge(bob)
+        bob.merge(alice)
+        assert alice.text == bob.text == "012XYZ789"
+        oracle = EgWalker(
+            expand_to_chars(alice.oplog.graph), backend="list"
+        ).replay_text()
+        assert alice.text == oracle
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_retreat_and_advance_of_split_runs(self, backend):
+        """Retreating a run whose record was split by a later delete touches
+        every fragment exactly once."""
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0, 8)
+        state.apply_delete(EventId("b", 0), 2, 3)  # splits the run into 3 spans
+        assert state.prepare_length() == 5
+        state.retreat(EventId("b", 0), is_insert=False)
+        assert state.prepare_length() == 8
+        state.retreat(EventId("a", 0), is_insert=True, length=8)
+        assert state.prepare_length() == 0
+        state.advance(EventId("a", 0), is_insert=True, length=8)
+        assert state.prepare_length() == 8
+        state.advance(EventId("b", 0), is_insert=False)
+        assert state.prepare_length() == 5
+        # Effect state is unchanged by retreat/advance.
+        assert state.effect_length() == 5
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_insert_into_middle_of_run_splits_it(self, backend):
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0, 6)
+        assert state.record_count() == 1
+        # A (concurrent) insert between characters 2 and 3 of the run.
+        effect_pos = state.apply_insert(EventId("b", 0), 3, 2)
+        assert effect_pos == 3
+        assert state.record_count() == 3
+        assert state.prepare_length() == 8
+        left = state.record_for(EventId("a", 2))
+        right = state.record_for(EventId("a", 3))
+        assert left is not right
+        assert left.prepare_state == right.prepare_state == INSERTED
+        # The split halves keep id-accurate origins: the right half's left
+        # origin is the last character of the left half.
+        assert right.origin_left == EventId("a", 2)
+
+    def test_state_clearing_with_run_events_still_converges(self):
+        """State clears sit between runs; replay stays correct around them."""
+        doc = Document("alice", enable_clearing=True)
+        for i in range(30):
+            doc.insert(len(doc.text) // 2, f"run {i}! ")
+            if i % 3 == 2:
+                doc.delete(0, 3)
+        graph = doc.oplog.graph
+        oracle = EgWalker(expand_to_chars(graph), backend="list").replay_text()
+        for backend in BACKENDS:
+            walker = EgWalker(graph, backend=backend, enable_clearing=True)
+            assert walker.replay_text() == oracle
+            assert walker.last_stats.state_clears >= 0
+
+
+# ----------------------------------------------------------------------
+# The id range maps stay O(runs)
+# ----------------------------------------------------------------------
+class TestRangeMaps:
+    def test_event_graph_id_map_is_run_ranged(self):
+        graph = EventGraph()
+        graph.add_local_event("a", insert_op(0, "hello world, this is one run"))
+        graph.add_local_event("a", delete_op(0, 5))
+        assert len(graph) == 2
+        # Any character id resolves without per-character entries.
+        assert graph.locate(EventId("a", 0)) == (0, 0)
+        assert graph.locate(EventId("a", 27)) == (0, 27)
+        assert graph.locate(EventId("a", 28)) == (1, 0)
+        assert graph.locate(EventId("a", 32)) == (1, 4)
+        assert not graph.contains_id(EventId("a", 33))
+        assert graph.index_of(EventId("a", 10)) == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_internal_state_record_spans_follow_splits(self, backend):
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0, 10)
+        state.apply_delete(EventId("b", 0), 4, 2)
+        spans = state.sequence.record_spans(EventId("a", 0), 10)
+        assert [(r.id.seq, length) for r, _, length in spans] == [
+            (0, 4),
+            (4, 2),
+            (6, 4),
+        ]
+        assert all(offset == 0 for _, offset, _ in spans)

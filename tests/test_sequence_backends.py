@@ -97,12 +97,12 @@ class TestPlaceholders:
         assert backend.unit_position_of_ref(right) == 4
 
     @pytest.mark.parametrize("backend_cls", [ListSequence, TreeSequence])
-    def test_convert_placeholder_unit_for_delete(self, backend_cls):
+    def test_convert_placeholder_run_for_delete(self, backend_cls):
         backend = backend_cls(10)
         item, offset = backend.find_visible_unit(6)
         assert isinstance(item, PlaceholderPiece) and offset == 6
         record = make_record("__placeholder__", 0, prepare_state=2, deleted=True)
-        backend.convert_placeholder_unit(item, offset, record)
+        backend.convert_placeholder_run(item, offset, record)
         assert backend.total_units() == 10
         assert backend.prepare_length() == 9
         assert backend.effect_length() == 9
@@ -199,8 +199,8 @@ class TestDifferentialRandomWorkload:
                 if isinstance(item_a, PlaceholderPiece):
                     rec_a = make_record("__placeholder__", 1000 + step, 2, True)
                     rec_b = make_record("__placeholder__", 1000 + step, 2, True)
-                    list_backend.convert_placeholder_unit(item_a, off_a, rec_a)
-                    tree_backend.convert_placeholder_unit(item_b, off_b, rec_b)
+                    list_backend.convert_placeholder_run(item_a, off_a, rec_a)
+                    tree_backend.convert_placeholder_run(item_b, off_b, rec_b)
                 else:
                     for item, backend in ((item_a, list_backend), (item_b, tree_backend)):
                         item.prepare_state += 1

@@ -161,9 +161,11 @@ class TestEventGraphEncoding:
     def test_sequential_trace_encodes_compactly(self, small_sequential_trace):
         graph = small_sequential_trace.graph
         data = encode_event_graph(graph)
-        inserted = sum(1 for e in graph.events() if e.op.is_insert)
-        # Run-length encoding should bring the overhead well under 4 bytes/event.
-        assert len(data) < inserted + 4 * len(graph)
+        inserted_chars = sum(e.op.length for e in graph.events() if e.op.is_insert)
+        # One row per run event: the file is the inserted text plus a few
+        # bytes per *run*, far below a per-character encoding.
+        assert len(data) < inserted_chars + 8 * len(graph) + 64
+        assert len(graph) < graph.num_chars / 3
 
     def test_wrong_magic_rejected(self):
         with pytest.raises(ValueError):

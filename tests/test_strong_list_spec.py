@@ -35,6 +35,21 @@ def surviving_characters(graph):
 TRACE_FIXTURES = ["small_sequential_trace", "small_concurrent_trace", "small_async_trace"]
 
 
+def _replay_char_ids(graph, transformed):
+    """Apply transformed ops to a buffer of per-character ids."""
+    buffer: list[object] = []
+    for entry in transformed:
+        event = graph[entry.event_index]
+        for op in entry.ops:
+            if op.is_insert:
+                # The inserted run's characters carry consecutive ids from
+                # the run's start (transformed inserts are never split).
+                buffer[op.pos : op.pos] = [event.id_at(k) for k in range(op.length)]
+            else:
+                del buffer[op.pos : op.pos + op.length]
+    return buffer
+
+
 class TestRequirement1a:
     """The document contains exactly the inserted-but-not-deleted characters."""
 
@@ -66,7 +81,8 @@ class TestRequirement1c:
                 continue
             subset = causal.ancestors((idx,))
             doc_at_event = walker.replay_text(subset)
-            assert doc_at_event[event.op.pos] == event.op.content
+            end = event.op.pos + event.op.length
+            assert doc_at_event[event.op.pos : end] == event.op.content
 
     def test_figure2_insertions(self, figure2_graph):
         walker = EgWalker(figure2_graph)
@@ -81,21 +97,12 @@ class TestListOrderConsistency:
     """Requirement 1b/2: pairs of surviving characters keep one global order."""
 
     def _character_order(self, graph, backend, clearing):
-        """Map each surviving character's inserting event to its document index."""
+        """Map each surviving character's id to its document index."""
         walker = EgWalker(graph, backend=backend, enable_clearing=clearing)
         result = walker.transform()
-        # Replay the transformed ops over a buffer of event-ids to learn where
-        # each insertion ended up (and which ones survived).
-        buffer: list[object] = []
-        for entry in result.transformed:
-            op = entry.op
-            if op is None:
-                continue
-            if op.is_insert:
-                buffer[op.pos : op.pos] = [graph.id_of(entry.event_index)]
-            else:
-                del buffer[op.pos : op.pos + op.length]
-        return buffer
+        # Replay the transformed ops over a buffer of character ids to learn
+        # where each inserted character ended up (and which ones survived).
+        return _replay_char_ids(graph, result.transformed)
 
     @pytest.mark.parametrize("trace_fixture", TRACE_FIXTURES)
     def test_all_configurations_produce_the_same_list_order(self, trace_fixture, request):
@@ -122,15 +129,7 @@ class TestListOrderConsistency:
         for idx in range(0, len(graph), max(1, len(graph) // 10)):
             subset = causal.ancestors((idx,))
             partial = EgWalker(graph, enable_clearing=False).transform(subset)
-            buffer: list[object] = []
-            for entry in partial.transformed:
-                op = entry.op
-                if op is None:
-                    continue
-                if op.is_insert:
-                    buffer[op.pos : op.pos] = [graph.id_of(entry.event_index)]
-                else:
-                    del buffer[op.pos : op.pos + op.length]
+            buffer = _replay_char_ids(graph, partial.transformed)
             survivors = [event_id for event_id in buffer if event_id in final_positions]
             positions = [final_positions[event_id] for event_id in survivors]
             assert positions == sorted(positions)

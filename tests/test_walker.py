@@ -58,13 +58,11 @@ class TestPaperExamples:
 def _apply_ops(result) -> str:
     buffer: list[str] = []
     for entry in result.transformed:
-        op = entry.op
-        if op is None:
-            continue
-        if op.is_insert:
-            buffer[op.pos : op.pos] = op.content
-        else:
-            del buffer[op.pos : op.pos + op.length]
+        for op in entry.ops:
+            if op.is_insert:
+                buffer[op.pos : op.pos] = op.content
+            else:
+                del buffer[op.pos : op.pos + op.length]
     return "".join(buffer)
 
 
