@@ -44,6 +44,7 @@ class Document:
         *,
         backend: str = "tree",
         enable_clearing: bool = True,
+        enable_span_merging: bool = True,
         sort_strategy: str = "branch_aware",
     ) -> None:
         self.agent = agent
@@ -52,6 +53,7 @@ class Document:
         self._walker_options = {
             "backend": backend,
             "enable_clearing": enable_clearing,
+            "enable_span_merging": enable_span_merging,
             "sort_strategy": sort_strategy,
         }
 

@@ -11,9 +11,18 @@ event has id ``event.id.advance(k)`` and is addressable locally as
 a new event's parents are always the frontier of the graph as the generating
 replica saw it.
 
-Runs are atomic: they are created whole by :class:`~repro.core.oplog.OpLog`,
-so no event can causally depend on a strict prefix of another run — a parent
-reference to *any* character of a run is a dependency on the whole run.
+Run boundaries are a **local encoding detail**, not a protocol invariant:
+two replicas may carve the same per-character history into different runs
+(e.g. one batched a paragraph into a single run while a peer received it in
+two deliveries).  Locally a run event is stored whole, but ingesting a remote
+run that only partially overlaps stored coverage *splits* runs on either side
+until the two carvings agree (:meth:`EventGraph.ingest_run`), and a remote
+parent reference to a mid-run character splits the stored run at that
+boundary so the dependency covers exactly the referenced prefix
+(:meth:`EventGraph.dependency_index`).  In replicated form a parent id names
+the **last** character the event depends on; within a trusted local graph
+(:meth:`EventGraph.add_event`) any character of a run still identifies the
+whole run, because locally-created runs are only ever depended on whole.
 
 Locally, events are stored in an append-only list.  Because an event can only
 be added once all of its parents are present, the list order is always a valid
@@ -199,8 +208,10 @@ class EventGraph:
             event_id: the globally unique id of the run's first character.
                 The run's whole id span must be fresh.
             parents: parent events, either as :class:`EventId` values (any
-                character of the parent run identifies it — runs are atomic)
-                or as local indices (set ``parents_are_indices``).  All
+                character of the parent run identifies it, and the dependency
+                covers the whole run — use :meth:`ingest_run` for remote
+                references, where a mid-run id means a dependency on only a
+                prefix) or as local indices (set ``parents_are_indices``).  All
                 parents must already be in the graph (causal delivery is the
                 caller's responsibility — see
                 :mod:`repro.network.causal_broadcast`).
@@ -253,53 +264,226 @@ class EventGraph:
         event_id = EventId(agent, self.next_seq_for(agent))
         return self.add_event(event_id, self.frontier, op, parents_are_indices=True)
 
+    def split_event(self, index: int, offset: int) -> Event:
+        """Split the run event at ``index`` in place, before character ``offset``.
+
+        The event keeps its first ``offset`` characters; the remainder becomes
+        a new event inserted directly after it (at ``index + 1``) whose sole
+        parent is the left half — exactly the chaining
+        :func:`expand_to_chars` produces, so the split is semantically a
+        no-op.  All later local indices shift up by one, and every existing
+        parent reference to the original event is rewritten to the right half
+        (a dependency on a whole run is a dependency on its last character,
+        which now lives in the right half and implies the left transitively).
+
+        Returns the right half.  O(n) in the number of events; splits only
+        happen when interoperating with a peer that carved runs differently,
+        never on the local editing path.
+        """
+        event = self._events[index]
+        op = event.op
+        if offset <= 0 or offset >= op.length:
+            raise ValueError(f"cannot split a run of length {op.length} at {offset}")
+        right = Event(
+            index=index + 1,
+            id=event.id.advance(offset),
+            parents=(index,),
+            op=op.slice(offset, op.length - offset),
+        )
+        event.op = op.slice(0, offset)
+        self._events.insert(index + 1, right)
+        for later in self._events[index + 2 :]:
+            later.index += 1
+            later.parents = tuple(
+                index + 1 if p == index else (p + 1 if p > index else p)
+                for p in later.parents
+            )
+        # Children: values > index shift up; the original event's children
+        # (who depended on the whole run) move to the right half, and the
+        # left half's only child is the right half.
+        shifted = [
+            [c + 1 if c > index else c for c in children] for children in self._children
+        ]
+        right_children = shifted[index]
+        shifted[index] = [index + 1]
+        shifted.insert(index + 1, right_children)
+        self._children = shifted
+        self._frontier = [
+            index + 1 if f == index else (f + 1 if f > index else f)
+            for f in self._frontier
+        ]
+        # The id range map refines: the left entry now covers less (its
+        # length is consulted live) and the right half gets its own entry.
+        self._agent_index[event.id.agent].register(right.id.seq, right)
+        return right
+
+    def dependency_id(self, index: int) -> EventId:
+        """Id of the *last* character of the event at ``index``.
+
+        This is the replication-safe way to reference a dependency on a run:
+        a peer that carved the same history into finer runs resolves it to the
+        event ending at that character, preserving exactly the intended causal
+        coverage (a first-character id would under-specify it).
+        """
+        event = self._events[index]
+        return event.id.advance(event.op.length - 1)
+
+    def dependency_index(self, event_id: EventId) -> int:
+        """Index of the event covering ids *up to and including* ``event_id``.
+
+        If ``event_id`` falls mid-run, the stored run is split at the boundary
+        first so that the returned event covers exactly the referenced prefix
+        — the peer that emitted the reference did not causally depend on the
+        rest of the run.  Raises :class:`KeyError` if the id is unknown.
+        """
+        index, offset = self.locate(event_id)
+        if offset + 1 < self._events[index].op.length:
+            self.split_event(index, offset + 1)
+        return index
+
+    def ingest_run(
+        self, event_id: EventId, parent_ids: Iterable[EventId], op: Operation
+    ) -> list[Event]:
+        """Add a (possibly differently-carved) remote run to the graph.
+
+        The incoming id span is walked against stored coverage: sub-spans
+        already covered are verified to carry the same operation (redelivery
+        and legal re-carvings are idempotent), uncovered sub-spans are added
+        as new events.  The first new sub-span takes ``parent_ids`` (resolved
+        with :meth:`dependency_index`, splitting stored runs at mid-run parent
+        references); later sub-spans chain onto the previous character of the
+        run, mirroring :func:`expand_to_chars`.
+
+        Returns the newly created events (empty for a full redelivery).
+        Raises :class:`ValueError` if stored coverage disagrees with the
+        incoming operation (same ids, different content — the one truly
+        illegal divergence), and :class:`KeyError` if a needed parent is
+        missing (the replication layer holds such events back).
+        """
+        added: list[Event] = []
+        parent_events: list[Event] | None = None
+        agent = event_id.agent
+        seq = event_id.seq
+        end = event_id.seq + op.length
+        while seq < end:
+            located = self._locate(EventId(agent, seq))
+            if located is not None:
+                stored_index, stored_offset = located
+                stored = self._events[stored_index]
+                span = min(stored.op.length - stored_offset, end - seq)
+                self._verify_overlap(
+                    stored, stored_offset, op, seq - event_id.seq, span, event_id
+                )
+                seq += span
+                continue
+            agent_index = self._agent_index.get(agent)
+            next_start = (
+                agent_index.next_start_in(seq, end) if agent_index is not None else None
+            )
+            span = (next_start if next_start is not None else end) - seq
+            offset = seq - event_id.seq
+            if offset == 0:
+                if parent_events is None:
+                    parent_events = [
+                        self._events[self.dependency_index(p)] for p in parent_ids
+                    ]
+                parent_indices: Iterable[int] = {e.index for e in parent_events}
+            else:
+                parent_indices = (self.dependency_index(EventId(agent, seq - 1)),)
+            added.append(
+                self.add_event(
+                    EventId(agent, seq),
+                    parent_indices,
+                    op.slice(offset, span),
+                    parents_are_indices=True,
+                )
+            )
+            seq += span
+        return added
+
+    def _verify_overlap(
+        self,
+        stored: Event,
+        stored_offset: int,
+        op: Operation,
+        op_offset: int,
+        span: int,
+        event_id: EventId,
+    ) -> None:
+        """Check that stored coverage agrees with an incoming run's sub-span."""
+        stored_op = stored.op
+        same = stored_op.kind is op.kind
+        if same and op.is_insert:
+            same = (
+                stored_op.pos + stored_offset == op.pos + op_offset
+                and stored_op.content[stored_offset : stored_offset + span]
+                == op.content[op_offset : op_offset + span]
+            )
+        elif same:
+            same = stored_op.pos == op.pos
+        if not same:
+            raise ValueError(
+                f"remote event {event_id}+{op.length} conflicts with stored run "
+                f"{stored.id}+{stored_op.length}: same ids, different content"
+            )
+
     def add_remote_event(
         self, event_id: EventId, parent_ids: Iterable[EventId], op: Operation
-    ) -> Event | None:
+    ) -> list[Event]:
         """Add a run event received from another replica.
 
-        Returns ``None`` (and ignores the event) if it is already present,
-        which makes delivery idempotent.  A run that only *partially* overlaps
-        an existing run is not a redelivery but a protocol violation (runs are
-        atomic) and raises :class:`ValueError`.  Raises :class:`KeyError` if
-        any parent is missing; the replication layer is expected to hold such
-        events back until their parents arrive.
+        Run boundaries are a local encoding detail, so the incoming run may be
+        carved differently than this graph's coverage of the same characters:
+        already-known sub-spans are skipped (delivery is idempotent), new
+        sub-spans are added, and stored runs are split where the carvings
+        disagree.  See :meth:`ingest_run` for the exact semantics and error
+        cases.
+
+        Returns the list of newly created events (empty if the run was fully
+        known already).
         """
-        located = self._locate(event_id)
-        if located is not None:
-            event_index, offset = located
-            if offset == 0 and self._events[event_index].op.length == op.length:
-                return None
-            raise ValueError(
-                f"remote event {event_id}+{op.length} partially overlaps an "
-                "existing run"
-            )
-        return self.add_event(event_id, parent_ids, op)
+        return self.ingest_run(event_id, parent_ids, op)
 
     def merge_from(self, other: "EventGraph") -> list[int]:
         """Union this graph with ``other`` (paper §2.2).
 
         Events of ``other`` that are missing locally are added in ``other``'s
         local order, which is guaranteed to deliver parents before children.
+        The two graphs may carve the same edits into different runs; the
+        overlap handling is the same (shared) path as
+        :meth:`add_remote_event`.
 
         Returns:
-            The local indices (in *this* graph) of the newly added events.
+            The local indices (in *this* graph) of the events now covering the
+            newly added id spans, ascending.  (A span added early in the merge
+            may be split by a later event of the batch, in which case both
+            halves are reported.)
         """
-        added: list[int] = []
+        added_spans: list[tuple[str, int, int]] = []
         for event in other.events():
-            located = self._locate(event.id)
-            if located is not None:
-                event_index, offset = located
-                if offset == 0 and self._events[event_index].op.length == event.op.length:
-                    continue  # already present (same whole run)
-                raise ValueError(
-                    f"event {event.id}+{event.op.length} partially overlaps an "
-                    "existing run; the graphs have diverged illegally"
+            parent_ids = [other.dependency_id(p) for p in event.parents]
+            for new_event in self.ingest_run(event.id, parent_ids, event.op):
+                added_spans.append(
+                    (new_event.id.agent, new_event.id.seq, new_event.op.length)
                 )
-            parent_ids = [other.id_of(p) for p in event.parents]
-            new_event = self.add_event(event.id, parent_ids, event.op)
-            added.append(new_event.index)
-        return added
+        return self.indices_covering(added_spans)
+
+    def indices_covering(self, spans: Iterable[tuple[str, int, int]]) -> list[int]:
+        """Current event indices covering the given ``(agent, seq, length)`` spans.
+
+        Used after a batch ingest: events added early in the batch may have
+        been split (and every index shifted) by later events, so callers track
+        the added *id spans* and resolve them to indices once the batch is
+        done.
+        """
+        indices: set[int] = set()
+        for agent, seq, length in spans:
+            end = seq + length
+            while seq < end:
+                index, offset = self.locate(EventId(agent, seq))
+                indices.add(index)
+                seq += self._events[index].op.length - offset
+        return sorted(indices)
 
     # ------------------------------------------------------------------
     # Version helpers
@@ -309,8 +493,15 @@ class EventGraph:
         return tuple(sorted({self.index_of(i) for i in ids}))
 
     def ids_from_version(self, version: Version) -> tuple[EventId, ...]:
-        """Convert a local-index version into globally meaningful event ids."""
-        return tuple(self._events[i].id for i in version)
+        """Convert a local-index version into globally meaningful event ids.
+
+        Each event is represented by the id of its **last** character (its
+        :meth:`dependency_id`): a version means "everything up to and
+        including these characters", and a peer that carved the same history
+        into finer runs resolves a last-character id to exactly the right
+        causal coverage.
+        """
+        return tuple(self.dependency_id(i) for i in version)
 
     def is_valid_version(self, version: Version) -> bool:
         """Check that ``version`` only references events present in the graph."""

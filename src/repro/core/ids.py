@@ -114,18 +114,30 @@ class Operation:
         """One past the last index touched (in the operation's own version)."""
         return self.pos + self.length
 
+    def slice(self, offset: int, length: int) -> "Operation":
+        """The sub-run covering characters ``offset .. offset + length``.
+
+        This is the one place that knows how a run decomposes: an insert
+        sub-run starts ``offset`` positions further right; every character of
+        a delete run lands on the *same* index (each removes ``pos`` once its
+        predecessors are gone), so a delete sub-run keeps the position.  Run
+        splitting (graph, protocol and per-character expansion) is built on
+        it.
+        """
+        if offset < 0 or length < 1 or offset + length > self.length:
+            raise IndexError(f"slice {offset}+{length} out of range for {self}")
+        if self.kind is OpKind.INSERT:
+            return Operation(
+                OpKind.INSERT, self.pos + offset, self.content[offset : offset + length]
+            )
+        return Operation(OpKind.DELETE, self.pos, "", length)
+
     def char_at(self, offset: int) -> "Operation":
         """Return the single-character sub-operation at ``offset``.
 
         Used when expanding a run-length operation into per-character events.
         """
-        if offset < 0 or offset >= self.length:
-            raise IndexError(f"offset {offset} out of range for {self}")
-        if self.kind is OpKind.INSERT:
-            return Operation(OpKind.INSERT, self.pos + offset, self.content[offset])
-        # A run of deletions all happen at the *same* index: deleting the char
-        # at pos repeatedly removes pos, pos+1, ... of the original document.
-        return Operation(OpKind.DELETE, self.pos)
+        return self.slice(offset, 1)
 
     def apply_to(self, text: str) -> str:
         """Apply this operation to ``text`` and return the new string.

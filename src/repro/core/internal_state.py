@@ -13,6 +13,16 @@ lazily, only when concurrency forces two parts of a run into different states
 (a delete covering part of a run, an insert landing between two characters of
 a run, or a run straddling a placeholder/record boundary).
 
+Splits are also **undone**: whenever a state change leaves two adjacent spans
+id-contiguous and state-identical (typically after a retreat or advance
+resolves the concurrency that forced the split, or when a graph-level split
+run is replayed piecewise), the spans are re-merged
+(:meth:`CrdtRecord.can_merge_with` guarantees the merge is the exact inverse
+of a split, so it is lossless).  Long sessions therefore shrink back toward
+O(runs) spans once concurrency resolves instead of accumulating fragments
+forever; ``spans_merged`` counts the coalesces for
+:class:`~repro.core.walker.WalkerStats`.
+
 Concurrent insertions at the same position are ordered with a YATA-style
 integration rule (the "YjsMod" variant used by the paper's reference
 implementation): each record stores id-based references to the character to
@@ -66,10 +76,23 @@ class DeleteSegment:
 
 
 class InternalState:
-    """The walker's transient CRDT state over a pluggable sequence backend."""
+    """The walker's transient CRDT state over a pluggable sequence backend.
 
-    def __init__(self, backend: SequenceBackend | None = None) -> None:
+    Args:
+        backend: the item sequence (list or order-statistic tree).
+        merge_spans: re-merge adjacent same-state spans after state changes
+            (the inverse of lazy splitting).  On by default; the CRDT
+            converters disable it because they read each event's record (with
+            its own origins) straight after applying it.
+    """
+
+    def __init__(
+        self, backend: SequenceBackend | None = None, *, merge_spans: bool = True
+    ) -> None:
         self.sequence: SequenceBackend = backend if backend is not None else ListSequence()
+        self.merge_spans = merge_spans
+        #: Number of span coalesces performed (cumulative across clears).
+        self.spans_merged = 0
         #: For every applied delete event, the id spans of the characters it
         #: deleted.  Spans are resolved through the sequence's id range index
         #: on retreat/advance, so they stay correct when records split later.
@@ -112,7 +135,12 @@ class InternalState:
             ever_deleted=False,
         )
         self._integrate(cursor, record, origin_left, origin_right)
-        return self.sequence.effect_position_of_item(record)
+        effect_pos = self.sequence.effect_position_of_item(record)
+        # A graph-level split run replayed piecewise coalesces back into one
+        # record here: the new piece's left origin is the previous piece's
+        # last character, which is exactly the merge condition.
+        self._coalesce_record(record)
+        return effect_pos
 
     def apply_delete(self, event_id: EventId, pos: int, length: int = 1) -> list[DeleteSegment]:
         """Apply a delete run of ``length`` characters at prepare index ``pos``.
@@ -174,6 +202,8 @@ class InternalState:
             targets.append((record.id, take))
             remaining -= take
         self._delete_targets[event_id] = targets
+        for target_id, target_len in targets:
+            self._coalesce_span(target_id, target_len)
         return segments
 
     # ------------------------------------------------------------------
@@ -182,19 +212,26 @@ class InternalState:
     def retreat(self, event_id: EventId, is_insert: bool, length: int = 1) -> None:
         """Remove a whole run event from the prepare version (§3.2)."""
         if is_insert:
+            # No coalescing here: the records become NotInsertedYet, which is
+            # the one state the merge rule excludes (integration scans them).
             for record in self._aligned_spans(event_id, length):
                 if record.prepare_state != INSERTED:  # pragma: no cover - defensive
                     raise RuntimeError("retreating an insert whose record is not Ins")
                 record.prepare_state = NOT_YET_INSERTED
                 self.sequence.update_item_counts(record, -record.length, 0)
         else:
-            for target_id, target_len in self._delete_targets[event_id]:
+            targets = self._delete_targets[event_id]
+            for target_id, target_len in targets:
                 for record in self._aligned_spans(target_id, target_len):
                     if record.prepare_state < INSERTED + 1:  # pragma: no cover - defensive
                         raise RuntimeError("retreating a delete whose record is not Del n")
                     record.prepare_state -= 1
                     if record.prepare_state == INSERTED:
                         self.sequence.update_item_counts(record, +record.length, 0)
+            # Coalesce only after every span of the event has flipped: merging
+            # mid-loop could absorb a record the loop has not visited yet.
+            for target_id, target_len in targets:
+                self._coalesce_span(target_id, target_len)
 
     def advance(self, event_id: EventId, is_insert: bool, length: int = 1) -> None:
         """Add a whole run event back into the prepare version (§3.2)."""
@@ -204,8 +241,10 @@ class InternalState:
                     raise RuntimeError("advancing an insert whose record is not NIY")
                 record.prepare_state = INSERTED
                 self.sequence.update_item_counts(record, +record.length, 0)
+            self._coalesce_span(event_id, length)
         else:
-            for target_id, target_len in self._delete_targets[event_id]:
+            targets = self._delete_targets[event_id]
+            for target_id, target_len in targets:
                 for record in self._aligned_spans(target_id, target_len):
                     if record.prepare_state < INSERTED:  # pragma: no cover - defensive
                         raise RuntimeError("advancing a delete whose record is NIY")
@@ -213,6 +252,48 @@ class InternalState:
                     record.prepare_state += 1
                     if was_visible:
                         self.sequence.update_item_counts(record, -record.length, 0)
+            for target_id, target_len in targets:
+                self._coalesce_span(target_id, target_len)
+
+    # ------------------------------------------------------------------
+    # Span re-merging (the inverse of lazy splitting)
+    # ------------------------------------------------------------------
+    def _coalesce_record(self, record: CrdtRecord) -> None:
+        """Merge ``record`` with its neighbours where states allow it.
+
+        ``record`` must currently be in the sequence.  At most two merges
+        happen (with the next and with the previous item); each is the exact
+        inverse of a split, so correctness is unaffected — only the span count
+        shrinks.
+        """
+        if not self.merge_spans:
+            return
+        sequence = self.sequence
+        nxt = sequence.next_item(record)
+        if isinstance(nxt, CrdtRecord) and record.can_merge_with(nxt):
+            sequence.merge_into_left(record, nxt)
+            self.spans_merged += 1
+        prev = sequence.prev_item(record)
+        if isinstance(prev, CrdtRecord) and prev.can_merge_with(record):
+            sequence.merge_into_left(prev, record)
+            self.spans_merged += 1
+
+    def _coalesce_span(self, start_id: EventId, length: int) -> None:
+        """Coalesce every record currently covering the id span, plus its
+        outer neighbours.  Called after a state change settles (never while a
+        flip loop is still running, since a merge consumes the right record).
+        """
+        if not self.merge_spans:
+            return
+        seq = start_id.seq
+        end = start_id.seq + length
+        while seq < end:
+            record, _ = self.sequence.record_at(EventId(start_id.agent, seq))
+            self._coalesce_record(record)
+            # The record may have been absorbed into its left neighbour;
+            # re-resolve to find the (possibly grown) live covering record.
+            record, offset = self.sequence.record_at(EventId(start_id.agent, seq))
+            seq += record.length - offset
 
     def _aligned_spans(self, start_id: EventId, length: int) -> list[CrdtRecord]:
         """Records exactly covering the id span ``start_id .. +length``.

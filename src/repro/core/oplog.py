@@ -16,13 +16,19 @@ whole point of Eg-walker: in the steady state only the plain text and the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from .causal_graph import CausalGraph
 from .event_graph import Event, EventGraph, Version
 from .ids import EventId, Operation, OpKind, delete_op, insert_op
 
-__all__ = ["OpLog", "RemoteEvent"]
+__all__ = [
+    "OpLog",
+    "RemoteEvent",
+    "split_remote_event",
+    "merge_remote_events",
+    "recarve_events",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,11 +38,108 @@ class RemoteEvent:
     This is what gets sent over the network (and what the storage encoder
     serialises): the event id, the ids of its parents, and the operation.
     Local indices are never exchanged between replicas.
+
+    Parent ids name the **last** character the event depends on (see
+    :meth:`~repro.core.event_graph.EventGraph.dependency_id`): run boundaries
+    are a local encoding detail, so a receiver whose graph carves the parent's
+    history differently resolves the id to exactly the intended causal
+    coverage, splitting its stored run at the boundary if necessary.
     """
 
     id: EventId
     parents: tuple[EventId, ...]
     op: Operation
+
+    @property
+    def last_char_id(self) -> EventId:
+        """Id of the run's last character (what a child's parent ref names)."""
+        return self.id.advance(self.op.length - 1)
+
+
+def split_remote_event(event: RemoteEvent, offset: int) -> tuple[RemoteEvent, RemoteEvent]:
+    """Re-carve one portable run event into two at ``offset``.
+
+    The result is a legal re-encoding of the same history: the left half keeps
+    the event's id and parents, the right half starts ``offset`` characters in
+    and depends on the left half's last character.  Receivers treat either
+    carving identically (split-on-ingest).
+    """
+    op = event.op
+    if offset <= 0 or offset >= op.length:
+        raise ValueError(f"cannot split a run of length {op.length} at {offset}")
+    left = RemoteEvent(id=event.id, parents=event.parents, op=op.slice(0, offset))
+    right = RemoteEvent(
+        id=event.id.advance(offset),
+        parents=(left.last_char_id,),
+        op=op.slice(offset, op.length - offset),
+    )
+    return left, right
+
+
+def merge_remote_events(left: RemoteEvent, right: RemoteEvent) -> RemoteEvent | None:
+    """Coalesce two portable events into one run, if they form one.
+
+    ``right`` must continue ``left`` exactly: contiguous ids, ``right``
+    depending only on ``left``'s last character, and an operation that extends
+    the run (an insert continuing at the end, or a delete at the same index).
+    Returns ``None`` when the pair is not mergeable.  This is the sender-side
+    inverse of split-on-ingest, used to emulate peers that batch runs
+    differently (e.g. diamond-types' oplog coalescing).
+    """
+    if right.id != left.id.advance(left.op.length):
+        return None
+    if right.parents != (left.last_char_id,):
+        return None
+    lop, rop = left.op, right.op
+    if lop.kind is not rop.kind:
+        return None
+    if lop.is_insert:
+        if rop.pos != lop.pos + lop.length:
+            return None
+        merged = insert_op(lop.pos, lop.content + rop.content)
+    else:
+        if rop.pos != lop.pos:
+            return None
+        merged = delete_op(lop.pos, lop.length + rop.length)
+    return RemoteEvent(id=left.id, parents=left.parents, op=merged)
+
+
+def recarve_events(
+    events: Iterable[RemoteEvent],
+    *,
+    splits: Callable[[RemoteEvent], Iterable[int]] | None = None,
+    merge_adjacent: bool = False,
+) -> list[RemoteEvent]:
+    """Re-encode a causally ordered event list with different run boundaries.
+
+    ``splits`` maps each event to the offsets at which to cut it; with
+    ``merge_adjacent`` set, consecutive events that form one run are coalesced
+    first (then split at the requested offsets).  The output carries exactly
+    the same per-character history in the same causal order — feeding it to
+    any replica converges to the same document as the original list, which is
+    what the convergence fuzzer exercises.
+    """
+    merged: list[RemoteEvent] = []
+    for event in events:
+        if merge_adjacent and merged:
+            combined = merge_remote_events(merged[-1], event)
+            if combined is not None:
+                merged[-1] = combined
+                continue
+        merged.append(event)
+    if splits is None:
+        return merged
+    out: list[RemoteEvent] = []
+    for event in merged:
+        offsets = sorted(
+            {o for o in splits(event) if 0 < o < event.op.length}, reverse=True
+        )
+        pieces = [event]
+        for offset in offsets:
+            left, right = split_remote_event(pieces[0], offset)
+            pieces[0:1] = [left, right]
+        out.extend(pieces)
+    return out
 
 
 class OpLog:
@@ -106,7 +209,7 @@ class OpLog:
             out.append(
                 RemoteEvent(
                     id=event.id,
-                    parents=self.graph.ids_from_version(event.parents),
+                    parents=tuple(self.graph.dependency_id(p) for p in event.parents),
                     op=event.op,
                 )
             )
@@ -116,10 +219,16 @@ class OpLog:
         """Events the remote replica (at ``remote_version``) is missing.
 
         Event ids the local graph does not know are ignored: the remote is
-        simply ahead of us on those branches and needs nothing for them.
+        simply ahead of us on those branches and needs nothing for them.  A
+        version id that lands mid-run (the remote carved, or saw, only a
+        prefix of one of our runs) splits the stored run at the boundary so
+        the unseen suffix is exported and the seen prefix is not re-sent.
         """
         known = [eid for eid in remote_version if self.graph.contains_id(eid)]
-        local_version = self.graph.version_from_ids(known)
+        # Resolve to Event objects first: each dependency_index call may split
+        # a stored run, shifting every later index (Event.index stays live).
+        local_events = [self.graph[self.graph.dependency_index(eid)] for eid in known]
+        local_version = tuple(sorted({e.index for e in local_events}))
         _, missing = self.causal.diff(local_version, self.graph.frontier)
         return self.export_events(missing)
 
@@ -127,17 +236,21 @@ class OpLog:
         """Add remote events to the graph (idempotently).
 
         Events must arrive with their parents either already known or earlier
-        in the same batch (the causal-broadcast layer guarantees this).
+        in the same batch (the causal-broadcast layer guarantees this).  Runs
+        may be carved differently than this replica's graph; partial overlaps
+        are resolved by splitting on either side (see
+        :meth:`EventGraph.ingest_run`).
 
         Returns:
-            Local indices of the events that were actually new.
+            Local indices of the events now covering the spans that were
+            actually new (resolved after the whole batch, since later events
+            of the batch may split earlier ones).
         """
-        added: list[int] = []
+        added_spans: list[tuple[str, int, int]] = []
         for remote in events:
-            event = self.graph.add_remote_event(remote.id, remote.parents, remote.op)
-            if event is not None:
-                added.append(event.index)
-        return added
+            for event in self.graph.add_remote_event(remote.id, remote.parents, remote.op):
+                added_spans.append((event.id.agent, event.id.seq, event.op.length))
+        return self.graph.indices_covering(added_spans)
 
     def merge_from(self, other: "OpLog") -> list[int]:
         """Union this log with another replica's log (paper §2.2)."""

@@ -276,6 +276,27 @@ class TreeSequence(SequenceBackend):
         self._maybe_split_leaf(leaf)
         return right
 
+    def merge_into_left(self, left: CrdtRecord, right: CrdtRecord) -> None:
+        # Remove the right half from its leaf first (its counters still
+        # describe it), then grow the left half and credit its leaf.  The two
+        # may live in different leaves; a leaf left empty stays in the tree
+        # (iteration and the total>0 descent skip it) — merges are bounded by
+        # prior splits, so empties stay rare.
+        units, prep, eff = right.units, right.prepare_units, right.effect_units
+        right_leaf: _Leaf = right.leaf  # type: ignore[assignment]
+        del right_leaf.items[_index_in_leaf(right_leaf, right)]
+        self._item_count -= 1
+        self._bubble_add(right_leaf, -units, -prep, -eff)
+        right.leaf = None
+        self._absorb_record(left, right)
+        self._bubble_add(left.leaf, units, prep, eff)  # type: ignore[arg-type]
+
+    def next_item(self, item: Item) -> Item | None:
+        return self._next_item(item)
+
+    def prev_item(self, item: Item) -> Item | None:
+        return self._prev_item(item)
+
     def update_item_counts(self, item: Item, d_prepare: int, d_effect: int) -> None:
         if d_prepare == 0 and d_effect == 0:
             return
@@ -315,13 +336,17 @@ class TreeSequence(SequenceBackend):
         return None
 
     def _last_item(self) -> Item | None:
+        # Every item covers >= 1 unit, so a subtree holds items iff total > 0;
+        # descending by that skips leaves emptied by span re-merging.
         node = self._root
         while not node.is_leaf:
-            node = node.children[-1]  # type: ignore[union-attr]
-        if node.items:  # type: ignore[union-attr]
-            return node.items[-1]  # type: ignore[union-attr]
-        # The rightmost leaf can only be empty when the tree is empty.
-        return None
+            for child in reversed(node.children):  # type: ignore[union-attr]
+                if child.total > 0:
+                    node = child
+                    break
+            else:
+                return None
+        return node.items[-1] if node.items else None  # type: ignore[union-attr]
 
     def _next_item(self, item: Item) -> Item | None:
         leaf: _Leaf = item.leaf  # type: ignore[assignment]
@@ -340,16 +365,20 @@ class TreeSequence(SequenceBackend):
         idx = _index_in_leaf(leaf, item)
         if idx > 0:
             return leaf.items[idx - 1]
-        # Walk up until we can step to a left sibling, then descend rightmost.
+        # Walk up until a non-empty left sibling subtree exists (total > 0
+        # skips leaves emptied by span re-merging), then descend rightmost.
         node: _Leaf | _Internal = leaf
         parent = node.parent
         while parent is not None:
             pos = parent.children.index(node)
-            if pos > 0:
-                sib = parent.children[pos - 1]
-                while not sib.is_leaf:
-                    sib = sib.children[-1]  # type: ignore[union-attr]
-                return sib.items[-1] if sib.items else None  # type: ignore[union-attr]
+            for sib in reversed(parent.children[:pos]):
+                if sib.total > 0:
+                    while not sib.is_leaf:
+                        for child in reversed(sib.children):  # type: ignore[union-attr]
+                            if child.total > 0:
+                                sib = child
+                                break
+                    return sib.items[-1]  # type: ignore[union-attr]
             node = parent
             parent = node.parent
         return None

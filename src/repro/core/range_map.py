@@ -1,4 +1,4 @@
-"""A generic integer range map for run-length encoded id spaces.
+"""Generic integer range structures for run-length encoded id spaces.
 
 Several layers of the pipeline need the same structure: values are registered
 under an integer start key, each value covers a contiguous half-open range of
@@ -7,11 +7,17 @@ offset.  The event graph uses it per agent to map ``seq`` ids to run events;
 the internal-state sequence backends use it to map character ids to record
 spans and original placeholder offsets to carved records.
 
-Registration is O(log n) via bisect.  Ranges are only ever *refined* —
-a split registers the new right half under its own start, the existing entry
-simply covers less — never merged or removed (short of :meth:`clear`), so a
-lookup is a single bisect plus a containment check against the value's
-current length.
+Registration is O(log n) via bisect.  Ranges are usually *refined* — a split
+registers the new right half under its own start, the existing entry simply
+covers less — so a lookup is a single bisect plus a containment check against
+the value's current length.  The inverse also exists for the span re-merging
+optimisation: :meth:`RangeIndex.remove` drops the entry of a right half that
+was coalesced back into its left neighbour (whose grown length then covers
+the removed range again).
+
+:class:`SpanSet` is the membership-only sibling: a set of integers kept as
+sorted disjoint runs, used by the causal-broadcast layer to track which
+character ids have been delivered without O(chars) memory.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from __future__ import annotations
 import bisect
 from typing import Callable, Generic, TypeVar
 
-__all__ = ["RangeIndex"]
+__all__ = ["RangeIndex", "SpanSet"]
 
 T = TypeVar("T")
 
@@ -72,3 +78,59 @@ class RangeIndex(Generic[T]):
         if idx < len(self._starts) and self._starts[idx] < hi:
             return self._starts[idx]
         return None
+
+    def remove(self, start: int) -> None:
+        """Drop the entry registered at exactly ``start`` (if any).
+
+        Used when two adjacent spans are re-merged: the right span's entry is
+        removed and lookups in its range fall back to the left span, whose
+        grown length covers them again.
+        """
+        if start not in self._values:
+            return
+        idx = bisect.bisect_left(self._starts, start)
+        self._starts.pop(idx)
+        del self._values[start]
+
+
+class SpanSet:
+    """A set of integers stored as sorted, disjoint, half-open runs.
+
+    Memory is O(runs), not O(members); adjacent and overlapping runs merge on
+    insertion.  This is what lets the replication layer reason about delivered
+    character ids per agent without materialising one entry per character.
+    """
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+
+    def __len__(self) -> int:
+        """Number of stored runs (not members)."""
+        return len(self._starts)
+
+    def add(self, start: int, length: int = 1) -> None:
+        """Add the run ``start .. start + length`` to the set."""
+        if length <= 0:
+            return
+        end = start + length
+        # Runs that touch [start, end) get absorbed: the first candidate is
+        # the last run starting at or before `end`, then walk left.
+        lo = bisect.bisect_left(self._ends, start)
+        hi = bisect.bisect_right(self._starts, end)
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            end = max(end, self._ends[hi - 1])
+        self._starts[lo:hi] = [start]
+        self._ends[lo:hi] = [end]
+
+    def contains(self, key: int) -> bool:
+        idx = bisect.bisect_right(self._starts, key) - 1
+        return idx >= 0 and key < self._ends[idx]
+
+    def covers(self, start: int, length: int) -> bool:
+        """True iff the whole run ``start .. start + length`` is in the set."""
+        idx = bisect.bisect_right(self._starts, start) - 1
+        return idx >= 0 and start + length <= self._ends[idx]

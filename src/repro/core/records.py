@@ -131,6 +131,31 @@ class CrdtRecord:
         self.length = offset
         return right
 
+    def can_merge_with(self, right: "CrdtRecord") -> bool:
+        """Can ``right`` (the next item in the sequence) coalesce into this run?
+
+        The condition is the exact inverse of :meth:`split`: the two spans are
+        id-contiguous, share every piece of state, and ``right``'s origins are
+        precisely what a split at this boundary would reconstruct.  That makes
+        re-merging lossless — if a later event addresses only part of the
+        merged span, splitting it again restores byte-identical records, so
+        origins, integration order and retreat/advance semantics are
+        unaffected.  ``NotInsertedYet`` spans are excluded: they are the ones
+        the YATA integration rule scans and compares origins of, and collapsing
+        them could change which origins a concurrent sibling sees.
+        """
+        return (
+            self.prepare_state != NOT_YET_INSERTED
+            and right.prepare_state == self.prepare_state
+            and right.ever_deleted == self.ever_deleted
+            and right.id.agent == self.id.agent
+            and right.id.seq == self.end_seq
+            and right.origin_left == self.id_at(self.length - 1)
+            and right.origin_right == self.origin_right
+            and (right.ph_base is None) == (self.ph_base is None)
+            and (self.ph_base is None or right.ph_base == self.ph_base + self.length)
+        )
+
     # ------------------------------------------------------------------
     @property
     def prepare_visible(self) -> bool:

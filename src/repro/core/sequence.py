@@ -169,6 +169,25 @@ class SequenceBackend:
         """
         raise NotImplementedError
 
+    def merge_into_left(self, left: CrdtRecord, right: CrdtRecord) -> None:
+        """Coalesce ``right`` (the item directly after ``left``) into ``left``.
+
+        The inverse of :meth:`split_record`: ``right`` is removed from the
+        sequence and its indices, and ``left`` grows to cover its characters.
+        The caller guarantees mergeability (:meth:`CrdtRecord.can_merge_with`),
+        which makes the operation lossless — a later split at the same
+        boundary reconstructs byte-identical records.
+        """
+        raise NotImplementedError
+
+    def next_item(self, item: Item) -> Item | None:
+        """The item directly after ``item`` in the sequence (None at the end)."""
+        raise NotImplementedError
+
+    def prev_item(self, item: Item) -> Item | None:
+        """The item directly before ``item`` in the sequence (None at the start)."""
+        raise NotImplementedError
+
     def update_item_counts(self, item: Item, d_prepare: int, d_effect: int) -> None:
         """Notify the backend that ``item``'s visibility counters changed."""
         raise NotImplementedError
@@ -202,6 +221,16 @@ class SequenceBackend:
         index.register(record.id.seq, record)
         if record.ph_base is not None:
             self._carved_index.register(record.ph_base, record)
+
+    def _absorb_record(self, left: CrdtRecord, right: CrdtRecord) -> None:
+        """Index bookkeeping shared by both backends' :meth:`merge_into_left`:
+        drop ``right``'s registrations and grow ``left`` over its span."""
+        index = self._record_index.get(right.id.agent)
+        if index is not None:
+            index.remove(right.id.seq)
+        if right.ph_base is not None:
+            self._carved_index.remove(right.ph_base)
+        left.length += right.length
 
     def record_at(self, event_id: EventId) -> tuple[CrdtRecord, int]:
         """The (record, offset) currently covering the character ``event_id``."""
@@ -411,6 +440,18 @@ class ListSequence(SequenceBackend):
         self._items.insert(idx + 1, right)
         self.register_record(right)
         return right
+
+    def merge_into_left(self, left: CrdtRecord, right: CrdtRecord) -> None:
+        del self._items[self._index_of_item(right)]
+        self._absorb_record(left, right)
+
+    def next_item(self, item: Item) -> Item | None:
+        idx = self._index_of_item(item)
+        return self._items[idx + 1] if idx + 1 < len(self._items) else None
+
+    def prev_item(self, item: Item) -> Item | None:
+        idx = self._index_of_item(item)
+        return self._items[idx - 1] if idx > 0 else None
 
     def update_item_counts(self, item: Item, d_prepare: int, d_effect: int) -> None:
         # The list backend recomputes counts on demand, so nothing to do.

@@ -72,6 +72,10 @@ class WalkerStats:
     measurable as the ratio between the two.  ``peak_records`` counts span
     items (records + placeholder pieces) held by the internal state at its
     largest; ``peak_record_chars`` counts the characters those spans covered.
+    ``spans_merged`` counts how often the state re-merged adjacent same-state
+    spans (the inverse of concurrency-forced splitting), and
+    ``final_records`` is the span count left when the replay finished — on a
+    concurrency-then-quiescence trace re-merging pulls it back below the peak.
     """
 
     events_processed: int = 0
@@ -83,6 +87,8 @@ class WalkerStats:
     state_clears: int = 0
     peak_records: int = 0
     peak_record_chars: int = 0
+    spans_merged: int = 0
+    final_records: int = 0
 
 
 @dataclass(slots=True)
@@ -151,6 +157,10 @@ class EgWalker:
         enable_clearing: enable the critical-version optimisations of §3.5
             (state clearing plus the transform-free fast path).  Disabling
             this reproduces the "opt disabled" series of Figure 9.
+        enable_span_merging: re-merge adjacent same-state record spans once
+            the concurrency that split them resolves, so the internal state
+            shrinks back toward O(runs).  Disabling it reproduces the
+            split-only behaviour (used by the span-merging ablation).
         sort_strategy: ``"branch_aware"`` (default, the paper's heuristic),
             ``"local"`` or ``"interleaved"`` (pathological; used by the
             sort-order ablation).
@@ -162,6 +172,7 @@ class EgWalker:
         *,
         backend: str = "tree",
         enable_clearing: bool = True,
+        enable_span_merging: bool = True,
         sort_strategy: str = "branch_aware",
     ) -> None:
         if backend not in ("tree", "list"):
@@ -172,6 +183,7 @@ class EgWalker:
         self.causal = CausalGraph(graph)
         self.backend = backend
         self.enable_clearing = enable_clearing
+        self.enable_span_merging = enable_span_merging
         self.sort_strategy = sort_strategy
         self.last_stats: WalkerStats | None = None
 
@@ -221,7 +233,9 @@ class EgWalker:
             order = list(order)
 
         stats = WalkerStats()
-        state = InternalState(self._make_backend(base_doc_length))
+        state = InternalState(
+            self._make_backend(base_doc_length), merge_spans=self.enable_span_merging
+        )
         cuts: set[int] = set()
         if self.enable_clearing:
             cuts = critical_cut_positions(graph, order)
@@ -305,6 +319,8 @@ class EgWalker:
             if units > stats.peak_record_chars:
                 stats.peak_record_chars = units
 
+        stats.spans_merged = state.spans_merged
+        stats.final_records = state.record_count()
         self.last_stats = stats
         return ReplayResult(transformed=transformed, final_length=doc_length, stats=stats)
 

@@ -53,7 +53,10 @@ def event_graph_to_crdt_ops(graph: EventGraph) -> list[CrdtOp]:
     permutations of it are exercised by the tests.
     """
     causal = CausalGraph(graph)
-    state = InternalState(TreeSequence(0))
+    # Span re-merging is disabled: each event's record (with that event's own
+    # origins) is read back right after applying it, and a merge would replace
+    # those origins with the absorbing run's.
+    state = InternalState(TreeSequence(0), merge_spans=False)
     order = sort_branch_aware(graph, range(len(graph)))
 
     ops: list[CrdtOp] = []

@@ -69,7 +69,9 @@ class RefCRDTDocument:
         CRDT that this baseline exists to measure.
         """
         causal = CausalGraph(graph)
-        state = InternalState(TreeSequence(0))
+        # Like the converter, the materialisation step reads per-run origins
+        # out of the final record sequence, so spans must not be re-merged.
+        state = InternalState(TreeSequence(0), merge_spans=False)
         order = sort_branch_aware(graph, range(len(graph)))
         # Per-character content of every insert run, keyed by the run's first
         # character id (content of character (agent, seq+k) is content[k]).

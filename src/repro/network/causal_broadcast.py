@@ -7,6 +7,13 @@ incoming events whose parents have not arrived yet and releases them (in
 causal order) as soon as they become deliverable, which is exactly the "simple
 causal broadcast protocol" the paper describes.
 
+Because run boundaries are a local encoding detail, the buffer reasons about
+**character id spans**, not whole-event ids: a parent reference names one
+character (the last one the event depends on), an event covers the span of
+characters its run carries, and peers may carve the same characters into
+different runs.  Known ids are therefore tracked per agent in a
+:class:`~repro.core.range_map.SpanSet` — O(runs) memory, any carving.
+
 The buffer is transport-agnostic: the in-process network simulator, the relay
 server and the gossip topology in :mod:`repro.network.simulator` all push
 events through it.
@@ -14,11 +21,13 @@ events through it.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from ..core.ids import EventId
 from ..core.oplog import RemoteEvent
+from ..core.range_map import SpanSet
 
 __all__ = ["CausalBuffer", "DeliveryStats"]
 
@@ -38,27 +47,84 @@ class CausalBuffer:
 
     def __init__(self, deliver: Callable[[RemoteEvent], None]) -> None:
         self._deliver = deliver
-        self._known: set[EventId] = set()
+        #: Per-agent coverage of character ids already delivered (or locally
+        #: generated).  Span-based so that re-carved runs dedup correctly.
+        self._known: dict[str, SpanSet] = {}
         self._pending: dict[EventId, RemoteEvent] = {}
         self._waiting_on: dict[EventId, list[EventId]] = {}
+        #: Sorted waiting-parent seqs per agent, so a delivered run can find
+        #: every waiter inside its span with a bisect instead of a char loop.
+        self._waiting_seqs: dict[str, list[int]] = {}
         self.stats = DeliveryStats()
 
     # ------------------------------------------------------------------
+    def _known_spans(self, agent: str) -> SpanSet:
+        spans = self._known.get(agent)
+        if spans is None:
+            spans = self._known[agent] = SpanSet()
+        return spans
+
     def mark_known(self, event_ids: Iterable[EventId]) -> None:
-        """Tell the buffer about events the replica already has (e.g. local ones)."""
-        self._known.update(event_ids)
+        """Tell the buffer about single-character ids the replica already has."""
+        for event_id in event_ids:
+            self._known_spans(event_id.agent).add(event_id.seq, 1)
+
+    def mark_known_spans(self, spans: Iterable[tuple[EventId, int]]) -> int:
+        """Tell the buffer about known id runs (locally generated events, or
+        events ingested out of band, e.g. a state-transfer sync).
+
+        Buffered events that only waited on the marked spans become
+        deliverable and are flushed; returns how many got delivered.
+        """
+        ready: list[RemoteEvent] = []
+        for start_id, length in spans:
+            self._known_spans(start_id.agent).add(start_id.seq, length)
+            ready.extend(self._collect_ready(start_id.agent, start_id.seq, length))
+        delivered = 0
+        for event in ready:
+            delivered += self._deliver_and_cascade(event)
+        return delivered
+
+    def _knows(self, event_id: EventId) -> bool:
+        spans = self._known.get(event_id.agent)
+        return spans is not None and spans.contains(event_id.seq)
+
+    def _covers(self, event: RemoteEvent) -> bool:
+        spans = self._known.get(event.id.agent)
+        return spans is not None and spans.covers(event.id.seq, event.op.length)
 
     def receive(self, event: RemoteEvent) -> int:
-        """Accept one event from the network; returns how many got delivered."""
+        """Accept one event from the network; returns how many got delivered.
+
+        An event whose characters are all known is a duplicate regardless of
+        how its sender carved the run; a partially known run is *not* — it is
+        passed through and the event graph's split-on-ingest keeps only the
+        new characters.
+        """
         self.stats.received += 1
-        if event.id in self._known or event.id in self._pending:
+        pending = self._pending.get(event.id)
+        if self._covers(event) or (
+            pending is not None and pending.op.length >= event.op.length
+        ):
             self.stats.duplicates += 1
             return 0
-        missing = [p for p in event.parents if p not in self._known]
+        missing = [p for p in event.parents if not self._knows(p)]
         if missing:
+            if pending is not None:
+                # A coarser carving of an already-buffered run (same first
+                # character, so the same original edit and the same parents):
+                # keep the longer event; the existing waiter registrations
+                # still apply.
+                self._pending[event.id] = event
+                return 0
             self._pending[event.id] = event
             for parent in missing:
-                self._waiting_on.setdefault(parent, []).append(event.id)
+                waiters = self._waiting_on.setdefault(parent, [])
+                if not waiters:
+                    bisect.insort(
+                        self._waiting_seqs.setdefault(parent.agent, []), parent.seq
+                    )
+                waiters.append(event.id)
             if len(self._pending) > self.stats.buffered_high_water:
                 self.stats.buffered_high_water = len(self._pending)
             return 0
@@ -75,23 +141,43 @@ class CausalBuffer:
         return len(self._pending)
 
     # ------------------------------------------------------------------
+    def _waiters_in_span(self, agent: str, start: int, length: int) -> list[EventId]:
+        """Pop every waiting parent id inside ``agent``'s span ``start..+length``."""
+        seqs = self._waiting_seqs.get(agent)
+        if not seqs:
+            return []
+        lo = bisect.bisect_left(seqs, start)
+        hi = bisect.bisect_left(seqs, start + length)
+        hits = [EventId(agent, seq) for seq in seqs[lo:hi]]
+        del seqs[lo:hi]
+        return hits
+
+    def _collect_ready(self, agent: str, start: int, length: int) -> list[RemoteEvent]:
+        """Pending events made deliverable by ``agent``'s span becoming known."""
+        ready: list[RemoteEvent] = []
+        for parent in self._waiters_in_span(agent, start, length):
+            for waiting_id in self._waiting_on.pop(parent, []):
+                waiting = self._pending.get(waiting_id)
+                if waiting is None:
+                    continue
+                if all(self._knows(p) for p in waiting.parents):
+                    del self._pending[waiting_id]
+                    ready.append(waiting)
+        return ready
+
     def _deliver_and_cascade(self, event: RemoteEvent) -> int:
         """Deliver ``event`` and any buffered events it unblocks."""
         delivered = 0
         queue = [event]
         while queue:
             current = queue.pop()
-            if current.id in self._known:
+            if self._covers(current):
                 continue
             self._deliver(current)
-            self._known.add(current.id)
+            self._known_spans(current.id.agent).add(current.id.seq, current.op.length)
             self.stats.delivered += 1
             delivered += 1
-            for waiting_id in self._waiting_on.pop(current.id, []):
-                waiting = self._pending.get(waiting_id)
-                if waiting is None:
-                    continue
-                if all(p in self._known for p in waiting.parents):
-                    del self._pending[waiting_id]
-                    queue.append(waiting)
+            queue.extend(
+                self._collect_ready(current.id.agent, current.id.seq, current.op.length)
+            )
         return delivered

@@ -86,6 +86,18 @@ class SimulatedReplica:
     def deliver(self, event: RemoteEvent) -> None:
         self.buffer.receive(event)
 
+    def sync_direct(self, events: Iterable[RemoteEvent]) -> int:
+        """Ingest a batch of events outside the broadcast flow.
+
+        Models a state-transfer style sync (e.g. downloading a peer's event
+        graph, possibly carved into different runs than the broadcast copies).
+        The batch goes through the causal buffer so delivery bookkeeping stays
+        consistent with the graph — later broadcast deliveries of the same
+        characters dedup, and buffered events waiting on the synced spans are
+        flushed.  Returns how many events were delivered to the document.
+        """
+        return self.buffer.receive_batch(events)
+
 
 class CausalBufferAdapter:
     """Glue between the network, the causal buffer and the document."""
@@ -98,10 +110,13 @@ class CausalBufferAdapter:
         self._batch: list[RemoteEvent] = []
 
     def mark_local(self, events: Iterable[RemoteEvent]) -> None:
-        self.buffer.mark_known(e.id for e in events)
+        self.buffer.mark_known_spans((e.id, e.op.length) for e in events)
 
     def receive(self, event: RemoteEvent) -> None:
         self.buffer.receive(event)
+
+    def receive_batch(self, events: Iterable[RemoteEvent]) -> int:
+        return self.buffer.receive_batch(events)
 
     def _apply(self, event: RemoteEvent) -> None:
         self.replica.document.apply_remote_events([event])

@@ -30,6 +30,16 @@ Columns (each length-prefixed in the file, after a small header):
 The decoder reconstructs an :class:`~repro.core.event_graph.EventGraph` (full
 mode) or the graph structure with deleted characters blanked out (pruned
 mode), and the cached snapshot when present.
+
+Run boundaries are a local encoding detail (split-on-ingest interop), and the
+format is carving-neutral by construction: a run split in two costs one extra
+``ops`` row but nothing elsewhere — the right half sits directly after the
+left half, so it hits the default "parent = previous event" rule and its ids
+re-coalesce with the left half's in the ids column.  Decoding reproduces the
+writer's carving exactly; merging the decoded graph into a replica that
+carved the same history differently is handled by
+:meth:`~repro.core.event_graph.EventGraph.merge_from` (pruned files excluded
+— their blanked characters no longer content-verify against a full copy).
 """
 
 from __future__ import annotations
@@ -183,6 +193,8 @@ def _encode_parents_column(graph: EventGraph) -> bytes:
     writer = ByteWriter()
     exceptions: list[tuple[int, tuple[int, ...]]] = []
     for event in graph.events():
+        # Split right-halves (parents = the left half directly before them)
+        # land on this default, so ingest-time splits cost no parent bytes.
         default = (event.index - 1,) if event.index > 0 else ()
         if event.parents != default:
             exceptions.append((event.index, event.parents))

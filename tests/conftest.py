@@ -19,6 +19,23 @@ _SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 if os.path.isdir(_SRC) and _SRC not in sys.path:
     sys.path.insert(0, os.path.abspath(_SRC))
 
+def pytest_addoption(parser):
+    """Options for the randomized convergence fuzzer (test_fuzz_convergence.py)."""
+    parser.addoption(
+        "--fuzz-iterations",
+        action="store",
+        type=int,
+        default=200,
+        help="Number of seeded fuzz sessions to run (deterministic: session i "
+        "uses seed BASE_SEED + i). Nightly runs can crank this up.",
+    )
+
+
+@pytest.fixture
+def fuzz_iterations(request) -> int:
+    return request.config.getoption("--fuzz-iterations")
+
+
 from repro.core.document import Document  # noqa: E402
 from repro.core.event_graph import EventGraph  # noqa: E402
 from repro.core.ids import EventId, delete_op, insert_op  # noqa: E402

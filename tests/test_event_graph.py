@@ -99,24 +99,35 @@ class TestRemoteEventsAndMerge:
     def test_add_remote_event_is_idempotent(self):
         graph = linear_graph("ab")
         result = graph.add_remote_event(EventId("a", 0), (), insert_op(0, "a"))
-        assert result is None
+        assert result == []
         assert len(graph) == 2
 
-    def test_add_remote_event_partial_run_overlap_rejected(self):
+    def test_add_remote_event_conflicting_content_rejected(self):
         graph = EventGraph()
         graph.add_local_event("a", insert_op(0, "abc"))
         # Exact redelivery of the whole run is idempotent ...
-        assert graph.add_remote_event(EventId("a", 0), (), insert_op(0, "abc")) is None
-        # ... but a run overlapping only part of it is a protocol violation.
-        with pytest.raises(ValueError):
-            graph.add_remote_event(EventId("a", 1), (), insert_op(0, "zz"))
+        assert graph.add_remote_event(EventId("a", 0), (), insert_op(0, "abc")) == []
+        # ... and so is redelivery of a re-carved sub-run ...
+        assert graph.add_remote_event(EventId("a", 1), (), insert_op(1, "bc")) == []
+        # ... but the same ids carrying different content is the one truly
+        # illegal divergence.
+        with pytest.raises(ValueError, match="different content"):
+            graph.add_remote_event(EventId("a", 1), (), insert_op(1, "zz"))
 
-    def test_merge_from_rejects_partially_overlapping_runs(self):
+    def test_merge_from_conflicting_content_rejected(self):
         ours = EventGraph()
         ours.add_event(EventId("a", 0), (), insert_op(0, "ab"), parents_are_indices=True)
         theirs = EventGraph()
-        theirs.add_event(EventId("a", 0), (), insert_op(0, "abcde"), parents_are_indices=True)
-        with pytest.raises(ValueError):
+        theirs.add_event(EventId("a", 0), (), insert_op(0, "xy"), parents_are_indices=True)
+        with pytest.raises(ValueError, match="different content"):
+            ours.merge_from(theirs)
+
+    def test_merge_from_conflicting_kind_rejected(self):
+        ours = EventGraph()
+        ours.add_event(EventId("a", 0), (), insert_op(0, "ab"), parents_are_indices=True)
+        theirs = EventGraph()
+        theirs.add_event(EventId("a", 0), (), delete_op(0, 2), parents_are_indices=True)
+        with pytest.raises(ValueError, match="different content"):
             ours.merge_from(theirs)
 
     def test_add_remote_event_with_missing_parent_raises(self):
@@ -145,6 +156,118 @@ class TestRemoteEventsAndMerge:
         bob_index = base.index_of(EventId("bob", 0))
         assert base.parents_of(bob_index) == (1,)
         assert set(base.frontier) == {2, 3}
+
+
+class TestRunCarvingInterop:
+    """Run boundaries are a local encoding detail (split-on-ingest)."""
+
+    def test_remote_run_extending_stored_prefix_adds_suffix_only(self):
+        graph = EventGraph()
+        graph.add_event(EventId("a", 0), (), insert_op(0, "ab"), parents_are_indices=True)
+        added = graph.add_remote_event(EventId("a", 0), (), insert_op(0, "abcde"))
+        # Only the unseen suffix becomes a new event, chained onto the prefix.
+        assert [(e.id, e.op.content) for e in added] == [(EventId("a", 2), "cde")]
+        assert graph.parents_of(added[0].index) == (0,)
+        assert graph.num_chars == 5
+        assert graph.frontier == (1,)
+
+    def test_finer_carving_is_absorbed_as_duplicates(self):
+        coarse = EventGraph()
+        coarse.add_event(EventId("a", 0), (), insert_op(0, "abcd"), parents_are_indices=True)
+        fine = EventGraph()
+        fine.add_event(EventId("a", 0), (), insert_op(0, "ab"), parents_are_indices=True)
+        fine.add_event(EventId("a", 2), (0,), insert_op(2, "cd"), parents_are_indices=True)
+        assert coarse.merge_from(fine) == []
+        assert len(coarse) == 1  # nothing split: the coverage already agreed
+        assert fine.merge_from(coarse) == []
+        assert len(fine) == 2
+
+    def test_mid_run_parent_reference_splits_stored_run(self):
+        graph = EventGraph()
+        graph.add_event(EventId("x", 0), (), insert_op(0, "abcd"), parents_are_indices=True)
+        # A peer that only ever saw "ab" replies concurrently with the "cd" half.
+        added = graph.add_remote_event(EventId("y", 0), (EventId("x", 1),), insert_op(2, "Y"))
+        assert len(added) == 1
+        # The stored run was split at the dependency boundary ...
+        assert [e.id for e in graph.events()] == [
+            EventId("x", 0),
+            EventId("x", 2),
+            EventId("y", 0),
+        ]
+        assert [e.op.content for e in graph.events()] == ["ab", "cd", "Y"]
+        # ... so y is causally after "ab" but concurrent with "cd".
+        y_index = graph.index_of(EventId("y", 0))
+        assert graph.parents_of(y_index) == (0,)
+        assert graph.parents_of(1) == (0,)
+        assert set(graph.frontier) == {1, 2}
+
+    def test_split_event_rewrites_children_and_indices(self):
+        graph = EventGraph()
+        graph.add_event(EventId("x", 0), (), insert_op(0, "abcd"), parents_are_indices=True)
+        graph.add_event(EventId("z", 0), (0,), insert_op(4, "!"), parents_are_indices=True)
+        right = graph.split_event(0, 2)
+        # z depended on the whole run, so it now hangs off the right half.
+        assert right.index == 1 and right.id == EventId("x", 2)
+        assert graph.parents_of(1) == (0,)
+        z_index = graph.index_of(EventId("z", 0))
+        assert z_index == 2
+        assert graph.parents_of(z_index) == (1,)
+        assert list(graph.children_of(0)) == [1]
+        assert sorted(graph.children_of(1)) == [2]
+        assert graph.frontier == (2,)
+        assert graph.num_chars == 5
+        # The id map refined in place.
+        assert graph.locate(EventId("x", 1)) == (0, 1)
+        assert graph.locate(EventId("x", 3)) == (1, 1)
+
+    def test_split_delete_run(self):
+        graph = EventGraph()
+        graph.add_event(EventId("x", 0), (), insert_op(0, "abcd"), parents_are_indices=True)
+        graph.add_event(EventId("x", 4), (0,), delete_op(1, 3), parents_are_indices=True)
+        right = graph.split_event(1, 2)
+        # Both delete halves keep the original position: the characters shift
+        # onto it as their predecessors disappear.
+        assert graph[1].op == delete_op(1, 2)
+        assert right.op == delete_op(1, 1)
+        assert graph.parents_of(2) == (1,)
+
+    def test_differently_carved_graphs_union_cleanly(self):
+        """The headline interop property: two graphs carrying the same edits
+        carved differently (plus divergent branches) merge to the same set of
+        characters and dependencies."""
+        ours = EventGraph()
+        ours.add_event(EventId("x", 0), (), insert_op(0, "hello "), parents_are_indices=True)
+        ours.add_event(EventId("x", 6), (0,), insert_op(6, "world"), parents_are_indices=True)
+        theirs = EventGraph()
+        theirs.add_event(
+            EventId("x", 0), (), insert_op(0, "hello world"), parents_are_indices=True
+        )
+        theirs.add_event(EventId("y", 0), (0,), insert_op(11, "!"), parents_are_indices=True)
+        added = ours.merge_from(theirs)
+        assert [ours[i].id for i in added] == [EventId("y", 0)]
+        assert ours.num_chars == 12
+        # And in the other direction the coarse run is split by the version
+        # boundary the finer graph carries.
+        theirs.merge_from(ours)
+        assert theirs.num_chars == 12
+        assert {e.id for e in theirs.events()} >= {EventId("x", 0), EventId("y", 0)}
+
+    def test_dependency_ids_name_last_characters(self):
+        graph = EventGraph()
+        graph.add_event(EventId("a", 0), (), insert_op(0, "abc"), parents_are_indices=True)
+        assert graph.dependency_id(0) == EventId("a", 2)
+        assert graph.ids_from_version((0,)) == (EventId("a", 2),)
+        assert graph.version_from_ids([EventId("a", 2)]) == (0,)
+
+    def test_dependency_index_splits_only_on_mid_run_reference(self):
+        graph = EventGraph()
+        graph.add_event(EventId("a", 0), (), insert_op(0, "abc"), parents_are_indices=True)
+        assert graph.dependency_index(EventId("a", 2)) == 0
+        assert len(graph) == 1  # final character: no split needed
+        assert graph.dependency_index(EventId("a", 0)) == 0
+        assert len(graph) == 2  # mid-run: split after the referenced char
+        assert graph[0].op.content == "a"
+        assert graph[1].op.content == "bc"
 
 
 class TestSummary:

@@ -1,0 +1,124 @@
+"""Randomized convergence fuzzer for partial-run interop.
+
+Drives N replicas through the :class:`~repro.network.simulator.NetworkSimulator`
+with a mix of
+
+* insert/delete runs of mixed sizes (1..6 characters),
+* partitions and heals between random pairs (heal resends use
+  ``events_since``, whose version boundaries can land mid-run and split
+  stored runs), and
+* **re-carved direct syncs**: a random causally-closed prefix of one
+  replica's exported events is re-encoded with different run boundaries
+  (random splits, random adjacent-run merges) and ingested by another
+  replica.  The receiver may then edit on top of a *strict prefix* of a
+  peer's run, which forces mid-run parent references and
+  partial-overlap ingestion everywhere that event travels — the
+  split-on-ingest paths this fuzzer exists to hammer.
+
+After healing everything and draining the network, every replica must hold
+the same text, and that text must match the per-character
+:func:`~repro.core.event_graph.expand_to_chars` oracle replayed with the
+simple list backend.
+
+Everything is seeded and deterministic: session ``i`` uses
+``random.Random(BASE_SEED + i)``.  The iteration count comes from the
+``--fuzz-iterations`` pytest option (tests/conftest.py); CI runs a fixed
+modest count, nightly jobs can crank it up.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.document import Document
+from repro.core.event_graph import expand_to_chars
+from repro.core.oplog import recarve_events
+from repro.core.walker import EgWalker
+from repro.network.simulator import full_mesh
+
+BASE_SEED = 0xE6_2024
+ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def oracle_text(document: Document) -> str:
+    """The document text according to the per-character oracle."""
+    expanded = expand_to_chars(document.oplog.graph)
+    return EgWalker(expanded, backend="list", enable_clearing=False).replay_text()
+
+
+def random_recarve(rng: random.Random, events):
+    """Re-encode an event list with random run boundaries (same history)."""
+
+    def splits(event):
+        if event.op.length < 2 or rng.random() < 0.5:
+            return ()
+        count = rng.randint(1, min(2, event.op.length - 1))
+        return rng.sample(range(1, event.op.length), count)
+
+    return recarve_events(events, splits=splits, merge_adjacent=rng.random() < 0.5)
+
+
+def run_session(seed: int, *, replicas: int = 3, steps: int = 28) -> None:
+    rng = random.Random(seed)
+    names = [f"r{i}" for i in range(replicas)]
+    sim = full_mesh(names, latency=0.01)
+    partitioned: set[frozenset[str]] = set()
+
+    for _ in range(steps):
+        roll = rng.random()
+        replica = sim.replicas[rng.choice(names)]
+        if roll < 0.50 or not replica.text:
+            pos = rng.randint(0, len(replica.text))
+            length = rng.randint(1, 6)
+            replica.insert(pos, "".join(rng.choice(ALPHABET) for _ in range(length)))
+        elif roll < 0.70:
+            pos = rng.randrange(len(replica.text))
+            replica.delete(pos, min(rng.randint(1, 4), len(replica.text) - pos))
+        elif roll < 0.80:
+            a, b = rng.sample(names, 2)
+            key = frozenset((a, b))
+            if key in partitioned:
+                sim.heal(a, b)
+                partitioned.discard(key)
+            else:
+                sim.partition(a, b)
+                partitioned.add(key)
+        else:
+            # Re-carved direct sync of a random causally-closed prefix: the
+            # receiver can end up holding a strict prefix of a peer's run and
+            # then edit on top of it (mid-run parents, partial overlaps).
+            a, b = rng.sample(names, 2)
+            events = sim.replicas[a].document.oplog.export_events()
+            recarved = random_recarve(rng, events)
+            prefix = recarved[: rng.randint(0, len(recarved))]
+            sim.replicas[b].sync_direct(prefix)
+        sim.advance(rng.random() * 0.03)
+
+    for key in list(partitioned):
+        a, b = sorted(key)
+        sim.heal(a, b)
+    # Direct syncs bypass the broadcast path, so make sure every pair has
+    # exchanged anything a heal-less run might still be missing.
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            sim.heal(a, b)
+    sim.run_until_quiescent()
+
+    texts = {name: replica.text for name, replica in sim.replicas.items()}
+    assert len(set(texts.values())) == 1, f"replicas diverged (seed {seed}): {texts}"
+    expected = next(iter(texts.values()))
+    for name, replica in sim.replicas.items():
+        assert oracle_text(replica.document) == expected, (
+            f"replica {name} disagrees with the per-character oracle (seed {seed})"
+        )
+
+
+def test_convergence_fuzz(fuzz_iterations):
+    for i in range(fuzz_iterations):
+        run_session(BASE_SEED + i)
+
+
+def test_larger_sessions_converge():
+    """A few bigger sessions (more replicas, more steps), fixed seeds."""
+    for offset in range(3):
+        run_session(BASE_SEED + 10_000 + offset, replicas=4, steps=48)

@@ -197,7 +197,9 @@ class TestConcurrentInsertOrdering:
             state.retreat(eid, is_insert=True)
         state.apply_insert(EventId("bob", 0), 0)
         state.apply_insert(EventId("bob", 1), 1)
-        order = [r.id.agent for r in state.iter_records()]
+        # Per-character agent order (span re-merging may coalesce each user's
+        # characters into a single record, which is exactly the point).
+        order = [r.id.agent for r in state.iter_records() for _ in range(r.length)]
         # Each user's run stays contiguous (maximal non-interleaving).
         assert order in (["alice", "alice", "bob", "bob"], ["bob", "bob", "alice", "alice"])
 

@@ -69,6 +69,68 @@ class TestCausalBuffer:
         assert buffer.stats.buffered_high_water == 2
 
 
+class TestSpanAwareBuffer:
+    """The buffer reasons about character spans, so run carving is irrelevant."""
+
+    def run_event(self, agent, seq, parents, pos, content):
+        return RemoteEvent(
+            id=EventId(agent, seq), parents=tuple(parents), op=insert_op(pos, content)
+        )
+
+    def test_recarved_redelivery_is_duplicate(self):
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        buffer.receive(self.run_event("a", 0, [], 0, "abcd"))
+        # The same characters again, carved as two runs: both are duplicates.
+        assert buffer.receive(self.run_event("a", 0, [], 0, "ab")) == 0
+        assert buffer.receive(self.run_event("a", 2, [EventId("a", 1)], 2, "cd")) == 0
+        assert buffer.stats.duplicates == 2
+        assert len(delivered) == 1
+
+    def test_partially_known_run_passes_through(self):
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        buffer.receive(self.run_event("a", 0, [], 0, "ab"))
+        # A coarser carving that extends the known prefix is not a duplicate:
+        # the graph's split-on-ingest keeps only the new characters.
+        assert buffer.receive(self.run_event("a", 0, [], 0, "abcd")) == 1
+        assert len(delivered) == 2
+
+    def test_mid_run_parent_reference_counts_as_known(self):
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        buffer.receive(self.run_event("a", 0, [], 0, "abcd"))
+        # A peer that saw only "ab" depends on the mid-run character (a, 1).
+        assert buffer.receive(self.run_event("b", 0, [EventId("a", 1)], 2, "x")) == 1
+
+    def test_coarser_carving_replaces_buffered_finer_carving(self):
+        """A coarser run arriving while a finer carving of the same run is
+        buffered must not be dropped as a duplicate — its extra characters
+        would be lost."""
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        parent = EventId("p", 0)
+        assert buffer.receive(self.run_event("a", 0, [parent], 0, "ab")) == 0
+        assert buffer.receive(self.run_event("a", 0, [parent], 0, "abcd")) == 0
+        assert buffer.pending_count == 1
+        # The reverse direction (finer after coarser) *is* a duplicate.
+        assert buffer.receive(self.run_event("a", 0, [parent], 0, "ab")) == 0
+        assert buffer.stats.duplicates == 1
+        buffer.receive(self.run_event("p", 0, [], 0, "!"))
+        assert [e.op.content for e in delivered] == ["!", "abcd"]
+
+    def test_mark_known_spans_flushes_waiting_events(self):
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        held = self.run_event("b", 0, [EventId("a", 3)], 4, "x")
+        assert buffer.receive(held) == 0
+        assert buffer.pending_count == 1
+        # The parent span arrives out of band (e.g. a direct graph sync).
+        assert buffer.mark_known_spans([(EventId("a", 0), 4)]) == 1
+        assert buffer.pending_count == 0
+        assert [e.id for e in delivered] == [held.id]
+
+
 class TestNetworkSimulator:
     def test_full_mesh_real_time_session_converges(self):
         sim = full_mesh(["a", "b", "c"], latency=0.01)

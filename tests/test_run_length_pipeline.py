@@ -301,6 +301,176 @@ class TestPlaceholderRunCarving:
 
 
 # ----------------------------------------------------------------------
+# Span re-merging: splits are undone once concurrency resolves
+# ----------------------------------------------------------------------
+class TestSpanReMerging:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fragments_only_merge_when_effect_states_match(self, backend):
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0, 8)
+        state.apply_delete(EventId("b", 0), 2, 3)  # splits into kept|deleted|kept
+        assert state.record_count() == 3
+        state.retreat(EventId("b", 0), is_insert=False)
+        # Prepare visibility is restored, but the middle fragment was deleted
+        # in the effect version (s_e never un-deletes), so it must NOT rejoin
+        # its never-deleted neighbours — merging is only ever lossless.
+        assert state.record_count() == 3
+        assert state.spans_merged == 0
+        assert state.prepare_length() == 8
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_overlapping_concurrent_deletes_re_merge_the_run(self, backend):
+        """Once a concurrent delete sweeps over the fragments a first delete
+        left behind, every fragment has the same state again and the run
+        coalesces back into O(1) spans."""
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0, 8)
+        state.apply_delete(EventId("b", 0), 2, 3)
+        state.retreat(EventId("b", 0), is_insert=False)
+        assert state.record_count() == 3
+        # A concurrent delete of the whole run: the never-deleted fragments
+        # turn Del 1 / ever_deleted, matching the middle fragment.
+        segments = state.apply_delete(EventId("c", 0), 0, 8)
+        assert [s.effect_pos for s in segments] == [0, None, 0]
+        assert state.record_count() == 1
+        assert state.spans_merged >= 2
+        record = state.record_for(EventId("a", 4))
+        assert record.id == EventId("a", 0) and record.length == 8
+        # Retreating the big delete restores prepare visibility; the whole run
+        # has been effect-deleted by now, so it stays one span.
+        state.retreat(EventId("c", 0), is_insert=False)
+        assert state.prepare_length() == 8
+        assert state.effect_length() == 0
+        assert state.record_count() == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_adjacent_deleted_fragments_coalesce(self, backend):
+        """Single-character deletes at the same index chew through a run but
+        leave O(1) spans, not O(chars): each new Del fragment merges into the
+        previous one."""
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0, 10)
+        for k in range(6):
+            state.apply_delete(EventId("d", k), 2)
+        # kept prefix | one merged deleted span | kept suffix
+        assert state.record_count() == 3
+        assert state.prepare_length() == 4
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_graph_split_runs_coalesce_into_one_record(self, backend):
+        """Two id-contiguous events (a run split at the graph level) replay
+        into a single internal-state record."""
+        state = make_state(backend)
+        state.apply_insert(EventId("a", 0), 0, 3)
+        state.apply_insert(EventId("a", 3), 3, 4)
+        assert state.record_count() == 1
+        record = state.record_for(EventId("a", 5))
+        assert record.id == EventId("a", 0) and record.length == 7
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_merging_can_be_disabled(self, backend):
+        state = InternalState(
+            TreeSequence(0) if backend == "tree" else ListSequence(0),
+            merge_spans=False,
+        )
+        state.apply_insert(EventId("a", 0), 0, 8)
+        state.apply_delete(EventId("b", 0), 2, 3)
+        state.retreat(EventId("b", 0), is_insert=False)
+        assert state.record_count() == 3
+        assert state.spans_merged == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_walker_stats_show_final_spans_below_peak(self, backend):
+        """The acceptance trace: concurrency fragments the state, quiescence
+        re-merges it — the final span count drops back below the peak."""
+        graph = EventGraph()
+        run = graph.add_local_event("x", insert_op(0, "x" * 40))
+        # Branch y: spaced single-char deletes fragment x's run badly.
+        y_events = []
+        parent = run.index
+        for k in range(6):
+            event = graph.add_event(
+                EventId("y", k), (parent,), delete_op(2 + 3 * k), parents_are_indices=True
+            )
+            y_events.append(event.index)
+            parent = event.index
+        # Branch z (concurrent with all of y): a sweeping delete whose
+        # coverage gives every fragment the same state again, then quiet
+        # sequential typing.
+        z_events = []
+        parent = run.index
+        next_seq = 0
+        for k, op in enumerate(
+            [delete_op(0, 36)] + [insert_op(k, "z") for k in range(6)]
+        ):
+            event = graph.add_event(
+                EventId("z", next_seq), (parent,), op, parents_are_indices=True
+            )
+            next_seq += op.length
+            z_events.append(event.index)
+            parent = event.index
+        order = [run.index] + y_events + z_events
+
+        def replay_in_order(walker):
+            result = walker.transform(order=order)
+            buffer: list[str] = []
+            for entry in result.transformed:
+                for op in entry.ops:
+                    if op.is_insert:
+                        buffer[op.pos : op.pos] = op.content
+                    else:
+                        del buffer[op.pos : op.pos + op.length]
+            return "".join(buffer)
+
+        # Clearing is disabled so the whole session runs against live CRDT
+        # state (the regime span re-merging exists for).
+        oracle = EgWalker(expand_to_chars(graph), backend="list").replay_text()
+        merged_walker = EgWalker(graph, backend=backend, enable_clearing=False)
+        merged_text = replay_in_order(merged_walker)
+        plain_walker = EgWalker(
+            graph, backend=backend, enable_clearing=False, enable_span_merging=False
+        )
+        plain_text = replay_in_order(plain_walker)
+        assert merged_text == plain_text == oracle
+
+        merged, plain = merged_walker.last_stats, plain_walker.last_stats
+        # Replaying branch y fragments the run; retreating it for branch z
+        # re-merges the fragments, so the session ends far below its peak ...
+        assert merged.spans_merged > 0
+        assert merged.final_records < merged.peak_records
+        # ... while without re-merging the fragments are kept forever.
+        assert plain.spans_merged == 0
+        assert plain.final_records == plain.peak_records
+        assert merged.final_records < plain.final_records
+
+    def test_walker_replay_of_differently_carved_graphs_matches(self):
+        """Replaying a graph and a re-carved copy of it yields the same text
+        (run boundaries are an encoding detail all the way down)."""
+        alice, bob = Document("alice"), Document("bob")
+        alice.insert(0, "the quick brown fox ")
+        bob.merge(alice)
+        alice.insert(20, "jumps over ")
+        bob.insert(0, "intro: ")
+        bob.delete(11, 4)
+        alice.merge(bob)
+        bob.merge(alice)
+        assert alice.text == bob.text
+        # Force a different carving of the same history into a third replica.
+        from repro.core.oplog import recarve_events
+
+        carol = Document("carol")
+        events = alice.oplog.export_events()
+        recarved = recarve_events(
+            events,
+            splits=lambda e: range(1, e.op.length, 2),
+            merge_adjacent=True,
+        )
+        carol.apply_remote_events(recarved)
+        assert carol.text == alice.text
+        assert EgWalker(carol.oplog.graph).replay_text() == alice.text
+
+
+# ----------------------------------------------------------------------
 # The id range maps stay O(runs)
 # ----------------------------------------------------------------------
 class TestRangeMaps:
