@@ -23,6 +23,7 @@ from .harness import (
     run_file_size_full,
     run_file_size_pruned,
     run_memory,
+    run_merge_latency,
     run_merge_time,
     run_scaling,
     run_sort_order_ablation,
@@ -39,6 +40,7 @@ _EXPERIMENTS = {
     "fig12": ("fig12_file_size_pruned", lambda traces: run_file_size_pruned(traces)),
     "x1": ("x1_sort_order", lambda traces: run_sort_order_ablation(traces)),
     "x2": ("x2_scaling", lambda traces: run_scaling()),
+    "x3": ("x3_merge_latency", lambda traces: run_merge_latency()),
 }
 
 

@@ -16,6 +16,9 @@ Experiment index (see DESIGN.md §3):
 * :func:`run_file_size_pruned` — pruned file sizes (Figure 12)
 * :func:`run_sort_order_ablation` — merge time vs traversal order (§4.3 remark)
 * :func:`run_scaling`     — two-branch merge cost vs branch length (§3.7 complexity)
+* :func:`run_merge_latency` — per-merge cost vs history length in a live
+  session: the incremental merge engine vs the legacy rebuild path
+  (``BENCH_merge_latency.json`` / the perf-smoke CI gate)
 """
 
 from __future__ import annotations
@@ -23,6 +26,9 @@ from __future__ import annotations
 import time
 from typing import Iterable, Sequence
 
+from ..core.document import Document
+from ..core.ids import EventId, insert_op
+from ..core.oplog import RemoteEvent
 from ..core.walker import EgWalker
 from ..crdt.ref_crdt import RefCRDTDocument
 from ..ot.ot_replica import OTDocument
@@ -42,6 +48,7 @@ __all__ = [
     "run_file_size_pruned",
     "run_sort_order_ablation",
     "run_scaling",
+    "run_merge_latency",
     "run_all",
 ]
 
@@ -271,6 +278,115 @@ def run_scaling(branch_sizes: Sequence[int] = (250, 500, 1000, 2000)) -> list[di
 
 
 # ----------------------------------------------------------------------
+# Live merge latency: per-merge cost vs. history length (merge engine)
+# ----------------------------------------------------------------------
+def _ship_keystroke(editor: Document, watcher: Document, mark: int) -> tuple[float, int]:
+    """One keystroke on the editor, delivered to the watcher as a delta.
+
+    Returns the watcher's merge latency in seconds and the new export mark.
+    With sender-side run coalescing the keystroke usually *extends* an event
+    in place, so only the one-character suffix travels — the live-wire shape.
+    """
+    editor.insert(len(editor.text), "x")
+    delta = editor.oplog.export_since_seq(editor.agent, mark)
+    mark = editor.oplog.graph.next_seq_for(editor.agent)
+    start = time.perf_counter()
+    watcher.apply_remote_events(delta)
+    return time.perf_counter() - start, mark
+
+
+def run_merge_latency(
+    max_events: int = 1600, checkpoints: Sequence[int] | None = None
+) -> list[dict[str, object]]:
+    """Per-merge latency and engine work vs. history length, both engine modes.
+
+    A watcher replica receives a live stream of single events while its
+    history grows to ``max_events``.  At each checkpoint the cost of one
+    sequential delivery (the fast path) and one concurrent delivery (the
+    walker path against the resident state) is recorded, together with the
+    engine's ``last_merge_events_touched`` counter.  The incremental engine
+    must be flat in the history length; the legacy rebuild path
+    (``incremental=False``) grows linearly — the acceptance curve of the
+    merge-engine work.
+    """
+    if checkpoints is None:
+        checkpoints = [max_events // 8, max_events // 4, max_events // 2, max_events]
+    rows: list[dict[str, object]] = []
+    for incremental in (True, False):
+        editor = Document("editor")
+        watcher = Document("watcher", incremental=incremental)
+        mark = 0
+        intruder_seq = 0
+        for checkpoint in checkpoints:
+            while len(watcher.oplog.graph) < checkpoint - 1:
+                _, mark = _ship_keystroke(editor, watcher, mark)
+
+            history = len(watcher.oplog.graph)
+            seq_seconds, mark = _ship_keystroke(editor, watcher, mark)
+            rows.append(
+                {
+                    "incremental": incremental,
+                    "delivery": "sequential",
+                    "history_events": history,
+                    "merge_ms": round(seq_seconds * 1000, 4),
+                    "merge_work_events": watcher.merge_stats.last_merge_events_touched,
+                }
+            )
+
+            # A concurrent delivery: an event forking from two events back
+            # exercises the walker path at this history length.  The window
+            # the engine replays stays O(1); the rebuild path scans all.
+            graph = watcher.oplog.graph
+            intruder = RemoteEvent(
+                id=EventId("intruder", intruder_seq),
+                parents=(graph.dependency_id(len(graph) - 2),),
+                op=insert_op(0, "Z"),
+            )
+            intruder_seq += 1
+            history = len(graph)
+            start = time.perf_counter()
+            watcher.apply_remote_events([intruder])
+            conc_seconds = time.perf_counter() - start
+            rows.append(
+                {
+                    "incremental": incremental,
+                    "delivery": "concurrent",
+                    "history_events": history,
+                    "merge_ms": round(conc_seconds * 1000, 4),
+                    "merge_work_events": watcher.merge_stats.last_merge_events_touched,
+                }
+            )
+
+            # Re-quiesce: the editor pulls everything (intruder included)
+            # and types once — that event dominates all heads, forming a
+            # fresh critical version, so the next checkpoint starts in the
+            # steady state.
+            editor.merge(watcher)
+            editor.insert(len(editor.text), ". ")
+            delta = editor.oplog.export_since_seq(editor.agent, mark)
+            mark = editor.oplog.graph.next_seq_for(editor.agent)
+            watcher.apply_remote_events(delta)
+
+        stats = watcher.merge_stats
+        rows.append(
+            {
+                "incremental": incremental,
+                "delivery": "summary",
+                "history_events": len(watcher.oplog.graph),
+                "merges": stats.merges,
+                "fast_path_merges": stats.fast_path_merges,
+                "resumed_merges": stats.resumed_merges,
+                "fresh_replays": stats.fresh_replays,
+                "walkers_rebuilt": stats.walkers_rebuilt,
+                "cut_scan_events": stats.cut_scan_events,
+                "order_events_materialised": stats.order_events_materialised,
+            }
+        )
+        assert watcher.text == editor.text
+    return rows
+
+
+# ----------------------------------------------------------------------
 def run_all(traces: dict[str, Trace] | None = None) -> dict[str, list[dict[str, object]]]:
     """Run every experiment and return all result rows, keyed by experiment id."""
     traces = _traces(traces)
@@ -283,4 +399,5 @@ def run_all(traces: dict[str, Trace] | None = None) -> dict[str, list[dict[str, 
         "fig12_file_size_pruned": run_file_size_pruned(traces),
         "x1_sort_order": run_sort_order_ablation(traces),
         "x2_scaling": run_scaling(),
+        "x3_merge_latency": run_merge_latency(),
     }

@@ -2,6 +2,7 @@
 
 from .causal_graph import CausalGraph, DiffResult
 from .critical_versions import (
+    CriticalCutTracker,
     critical_cut_positions,
     is_critical_version,
     latest_critical_cut_before,
@@ -10,6 +11,7 @@ from .document import Document
 from .event_graph import Event, EventGraph, ROOT_VERSION, Version
 from .ids import EventId, Operation, OpKind, delete_op, insert_op
 from .internal_state import InternalState
+from .merge_engine import MergeEngine, MergeEngineStats, WalkerCheckpoint
 from .oplog import OpLog, RemoteEvent
 from .order_statistic_tree import TreeSequence
 from .records import CrdtRecord, PlaceholderPiece
@@ -25,6 +27,7 @@ from .walker import EgWalker, ReplayResult, TransformedOp, WalkerStats
 __all__ = [
     "CausalGraph",
     "CrdtRecord",
+    "CriticalCutTracker",
     "DiffResult",
     "Document",
     "EgWalker",
@@ -33,6 +36,8 @@ __all__ = [
     "EventId",
     "InternalState",
     "ListSequence",
+    "MergeEngine",
+    "MergeEngineStats",
     "Operation",
     "OpKind",
     "OpLog",
@@ -43,6 +48,7 @@ __all__ = [
     "TransformedOp",
     "TreeSequence",
     "Version",
+    "WalkerCheckpoint",
     "WalkerStats",
     "critical_cut_positions",
     "delete_op",

@@ -200,8 +200,19 @@ class CausalGraph:
         they came from; entries are popped in descending index order, their
         parents enqueued with the same tag, and the walk stops once every
         remaining entry is a common ancestor of both versions.
+
+        Two O(1) fast paths cover the stepping pattern the live merge engine
+        produces on nearly every event (prepare version moves from one event
+        to an adjacent one): equal versions, and a single-head version whose
+        parents are exactly the other version — no heap, no allocation.
         """
         graph = self._graph
+        if a == b:
+            return DiffResult([], [])
+        if len(b) == 1 and a == graph.parents_of(b[0]):
+            return DiffResult([], [b[0]])
+        if len(a) == 1 and b == graph.parents_of(a[0]):
+            return DiffResult([a[0]], [])
         flags: dict[int, int] = {}
         heap: list[int] = []
         num_not_shared = 0

@@ -18,14 +18,16 @@ definition.
 
 from __future__ import annotations
 
+import bisect
 from typing import Sequence
 
-from .event_graph import EventGraph
+from .event_graph import Event, EventGraph
 
 __all__ = [
     "critical_cut_positions",
     "is_critical_version",
     "latest_critical_cut_before",
+    "CriticalCutTracker",
 ]
 
 
@@ -128,3 +130,120 @@ def latest_critical_cut_before(
     cuts = critical_cut_positions(graph, order)
     candidates = [c for c in cuts if c < position]
     return max(candidates) if candidates else None
+
+
+class CriticalCutTracker:
+    """Incrementally tracked critical cuts of a graph's *local order*.
+
+    :func:`critical_cut_positions` answers the question for an arbitrary
+    order with a linear pass; a live replica asks it about the same,
+    append-only local order after every single merge, which turns O(n) per
+    query into O(n²) per session.  This tracker maintains the exact same set
+    with O(1) amortized work per appended event, by exploiting how the set
+    evolves under the three mutations an :class:`EventGraph` performs:
+
+    * **append** of an event ``n`` with parents ``P``:
+
+      - every existing cut at a position ``> min(P)`` dies (the new event's
+        earliest parent reaches behind it, violating condition (2) of
+        :func:`critical_cut_positions`); if ``P`` is empty and ``n > 0``,
+        *every* cut dies (the new root is concurrent with all of history).
+        Cuts at positions ``<= min(P)`` are untouched: their prefix is
+        unchanged and the new suffix member satisfies both suffix conditions.
+      - a new cut appears at ``n`` iff the graph frontier is now the
+        singleton ``{n}`` (condition (1); the suffix is empty).  No other
+        position can *become* critical: prefixes never change, and suffixes
+        only grow.
+
+      Each cut is appended at most once and removed at most once, hence O(1)
+      amortized (the removals are a tail truncation of a sorted list).
+
+    * **split** of the run at ``index`` (interop re-carving, a semantic
+      no-op): positions ``> index`` shift up by one; a cut *at* ``index``
+      (after the whole run) maps to ``index + 1`` (after the right half) and
+      gains a twin at ``index`` — the cut after the left half is critical
+      exactly iff the cut after the whole run was, because the left half
+      keeps the run's parents and every other reference to the run moves to
+      the right half.
+
+    * **in-place extension** of the frontier run (sender-side coalescing):
+      no event set changes, so the cut set is untouched.
+
+    The tracker registers itself as a listener on the graph
+    (:meth:`EventGraph.add_listener`) and must be attached while the graph is
+    empty, or be explicitly :meth:`rebuild` from the current state.
+    """
+
+    def __init__(self, graph: EventGraph, *, attach: bool = True) -> None:
+        self.graph = graph
+        #: Sorted positions (== local indices, since the tracked order is the
+        #: local order) whose prefix version is critical.
+        self._cuts: list[int] = []
+        if len(graph) > 0:
+            self.rebuild()
+        if attach:
+            graph.add_listener(self)
+
+    # -- listener hooks -------------------------------------------------
+    def event_added(self, event: Event) -> None:
+        parents = event.parents
+        index = event.index
+        if not parents:
+            if index > 0:
+                self._cuts.clear()
+        else:
+            # Cuts strictly after the event's earliest parent die.
+            keep = bisect.bisect_right(self._cuts, parents[0])
+            del self._cuts[keep:]
+        if self.graph.frontier == (index,):
+            self._cuts.append(index)
+
+    def event_split(self, index: int) -> None:
+        pos = bisect.bisect_left(self._cuts, index)
+        had_cut_at_index = pos < len(self._cuts) and self._cuts[pos] == index
+        for i in range(pos, len(self._cuts)):
+            self._cuts[i] += 1
+        if had_cut_at_index:
+            self._cuts.insert(pos, index)
+
+    def event_extended(self, index: int, added_length: int) -> None:
+        return None  # run lengths do not affect criticality
+
+    # -- queries --------------------------------------------------------
+    def cuts(self) -> list[int]:
+        """The current critical cut positions, ascending (a copy)."""
+        return list(self._cuts)
+
+    def latest_cut(self) -> int | None:
+        return self._cuts[-1] if self._cuts else None
+
+    def latest_cut_before(self, position: int) -> int | None:
+        """O(log n) equivalent of :func:`latest_critical_cut_before` on the
+        local order."""
+        idx = bisect.bisect_left(self._cuts, position)
+        return self._cuts[idx - 1] if idx > 0 else None
+
+    def is_cut(self, position: int) -> bool:
+        idx = bisect.bisect_left(self._cuts, position)
+        return idx < len(self._cuts) and self._cuts[idx] == position
+
+    def all_cuts_from(self, position: int) -> bool:
+        """Are *all* positions ``position .. len(graph) - 1`` critical?
+
+        This is the sequential fast-path test: when it holds for the position
+        just before a batch of new events, every new event's parent version
+        and own version are critical, so the events apply verbatim.
+        """
+        n = len(self.graph)
+        count = n - position
+        if count <= 0:
+            return True
+        if len(self._cuts) < count:
+            return False
+        tail = self._cuts[-count:]
+        return tail[0] == position and tail[-1] == n - 1
+
+    def rebuild(self) -> None:
+        """Recompute from scratch (O(n); only used when attaching late)."""
+        order = range(len(self.graph))
+        self._cuts = sorted(critical_cut_positions(self.graph, order))

@@ -24,19 +24,31 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..rope import Rope
-from .causal_graph import CausalGraph
-from .critical_versions import latest_critical_cut_before
 from .event_graph import Version
 from .ids import EventId, Operation
+from .merge_engine import MergeEngine, MergeEngineStats
 from .oplog import OpLog, RemoteEvent
-from .topo_sort import sort_branch_aware
-from .walker import EgWalker, ReplayResult
+from .walker import EgWalker
 
 __all__ = ["Document"]
 
 
 class Document:
-    """A replica of a collaboratively edited plain-text document."""
+    """A replica of a collaboratively edited plain-text document.
+
+    Args:
+        agent: this replica's globally unique name.
+        backend / enable_clearing / enable_span_merging / sort_strategy:
+            walker configuration, see :class:`~repro.core.walker.EgWalker`.
+        incremental: use the persistent :class:`MergeEngine` (critical cuts
+            tracked incrementally, sequential fast path, resident walker
+            state between merges).  ``False`` selects the legacy
+            rebuild-everything merge — O(history) bookkeeping per merge —
+            kept as the ablation baseline.
+        coalesce_local_runs: fold local edits that continue the frontier run
+            into the existing event (sender-side run coalescing), so a
+            keystroke-at-a-time session stores O(runs) events.
+    """
 
     def __init__(
         self,
@@ -46,9 +58,11 @@ class Document:
         enable_clearing: bool = True,
         enable_span_merging: bool = True,
         sort_strategy: str = "branch_aware",
+        incremental: bool = True,
+        coalesce_local_runs: bool = True,
     ) -> None:
         self.agent = agent
-        self.oplog = OpLog(agent)
+        self.oplog = OpLog(agent, coalesce_local_runs=coalesce_local_runs)
         self.rope = Rope()
         self._walker_options = {
             "backend": backend,
@@ -56,6 +70,9 @@ class Document:
             "enable_span_merging": enable_span_merging,
             "sort_strategy": sort_strategy,
         }
+        self.engine = MergeEngine(
+            self.oplog, self.rope, self._walker_options, incremental=incremental
+        )
 
     # ------------------------------------------------------------------
     # Read access
@@ -123,13 +140,43 @@ class Document:
     # History
     # ------------------------------------------------------------------
     def text_at(self, version: Version) -> str:
-        """Reconstruct the document text at an arbitrary historical version."""
+        """Reconstruct the document text at an arbitrary historical version.
+
+        ``version`` is a tuple of *current* local event indices.  With
+        sender-side run coalescing enabled, an index names the frontier run
+        *as it is now* — a snapshot that must survive later local edits
+        should be taken with :meth:`remote_version` and resolved through
+        :meth:`text_at_remote` instead (character ids are stable; run
+        boundaries are not).
+        """
         walker = self._make_walker()
         return walker.text_at_version(version)
+
+    def text_at_remote(self, remote_version: Sequence[EventId]) -> str:
+        """Reconstruct the text at an id-based version snapshot.
+
+        Each id names the last character the snapshot covered.  If a run was
+        extended (or carved differently) since the snapshot was taken, the
+        stored run is split at the boundary first — a semantic no-op — so the
+        reconstruction covers exactly the snapshotted characters.
+        """
+        graph = self.oplog.graph
+        # Resolve to Event objects first: each dependency_index call may split
+        # a stored run, shifting every later index (Event.index stays live).
+        events = [graph[graph.dependency_index(eid)] for eid in remote_version]
+        return self.text_at(tuple(sorted({e.index for e in events})))
 
     def history_versions(self) -> list[Version]:
         """Every prefix version in local order (useful for history browsing)."""
         return [tuple([idx]) for idx in range(len(self.oplog.graph))]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def merge_stats(self) -> MergeEngineStats:
+        """Work counters of the merge engine (see :class:`MergeEngineStats`)."""
+        return self.engine.stats
 
     # ------------------------------------------------------------------
     # Internals
@@ -138,52 +185,4 @@ class Document:
         return EgWalker(self.oplog.graph, **self._walker_options)
 
     def _integrate_new_events(self, added: list[int]) -> list[Operation]:
-        if not added:
-            return []
-        graph = self.oplog.graph
-        first_new = min(added)
-
-        # Find the most recent critical version (of the graph in local order)
-        # that precedes all new events; everything before it is already
-        # reflected identically in our text and the remote's, so the replay
-        # can start there (§3.6).
-        local_order = list(range(len(graph)))
-        cut = latest_critical_cut_before(graph, local_order, first_new)
-        if cut is None:
-            base_version: Version = ()
-            replay_start = 0
-        else:
-            base_version = (local_order[cut],)
-            replay_start = cut + 1
-
-        old_range = [idx for idx in range(replay_start, first_new)]
-        new_events = sorted(added)
-        order = sort_branch_aware(graph, old_range) + sort_branch_aware(graph, new_events)
-
-        # The placeholder must be at least as long as the document was at the
-        # base version; the current length plus every deleted character
-        # replayed on the old side is a safe upper bound (over-length
-        # placeholders are harmless, see InternalState.clear).
-        deletes_in_old_range = sum(
-            graph[idx].op.length for idx in old_range if graph[idx].op.is_delete
-        )
-        base_doc_length = len(self.rope) + deletes_in_old_range
-
-        walker = self._make_walker()
-        result: ReplayResult = walker.transform(
-            old_range + new_events,
-            base_version=base_version,
-            base_doc_length=base_doc_length,
-            order=order,
-            emit_only=set(new_events),
-        )
-
-        applied: list[Operation] = []
-        for entry in result.transformed:
-            for op in entry.ops:
-                if op.is_insert:
-                    self.rope.insert(op.pos, op.content)
-                else:
-                    self.rope.delete(op.pos, op.length)
-                applied.append(op)
-        return applied
+        return self.engine.integrate(added)

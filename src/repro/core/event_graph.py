@@ -40,7 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-from .ids import EventId, Operation
+from .ids import EventId, Operation, delete_op, insert_op
 from .range_map import RangeIndex
 
 __all__ = ["Event", "EventGraph", "Version", "ROOT_VERSION", "expand_to_chars"]
@@ -118,6 +118,41 @@ class EventGraph:
         self._frontier: list[int] = []
         self._next_seq: dict[str, int] = {}
         self._num_chars = 0
+        #: Structural-change observers (see :meth:`add_listener`).  Listeners
+        #: are how incremental consumers (the merge engine's critical-cut
+        #: tracker) stay in sync without rescanning the graph.
+        self._listeners: list[object] = []
+
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: object) -> None:
+        """Register a structural-change observer.
+
+        A listener may implement any of
+
+        * ``event_added(event)`` — called after a new event is appended,
+        * ``event_split(index)`` — called after the run at ``index`` was split
+          in place (the right half now lives at ``index + 1`` and every later
+          index shifted up by one), and
+        * ``event_extended(index, added_length)`` — called after the run at
+          ``index`` grew in place by ``added_length`` characters (sender-side
+          run coalescing; only ever the frontier run).
+
+        Missing methods are simply skipped, so listeners only implement what
+        they care about.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: object) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, method: str, *args) -> None:
+        for listener in self._listeners:
+            hook = getattr(listener, method, None)
+            if hook is not None:
+                hook(*args)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -253,6 +288,44 @@ class EventGraph:
         expected = self._next_seq.get(event_id.agent, 0)
         if event_id.seq + op.length > expected:
             self._next_seq[event_id.agent] = event_id.seq + op.length
+        self._notify("event_added", event)
+        return event
+
+    def extend_event(self, index: int, op: Operation) -> Event:
+        """Grow the run at ``index`` in place by the run ``op`` continues.
+
+        This is the sender-side run coalescing: a local edit that continues
+        the frontier run (same agent, contiguous seqs, an insert continuing at
+        the run's end or a delete at the same index) is folded into the
+        existing event instead of creating a new one, so a single-keystroke
+        session stores O(runs) events at the source.  The result is a legal
+        re-encoding of the same history — a peer that already received the
+        shorter run resolves the difference through the usual split-on-ingest
+        machinery (:meth:`ingest_run` / :meth:`dependency_index`).
+
+        The event must be the sole frontier head (which also makes it the last
+        event in local order): the new characters depend on everything, which
+        is exactly what "continuing the run" means.
+        """
+        event = self._events[index]
+        if self._frontier != [index]:
+            raise ValueError("only the sole frontier run can be extended in place")
+        if self._next_seq.get(event.id.agent, 0) != event.end_seq:
+            raise ValueError("cannot extend a run that is not the agent's latest")
+        old = event.op
+        if old.kind is not op.kind:
+            raise ValueError("cannot extend a run with an operation of another kind")
+        if op.is_insert:
+            if op.pos != old.pos + old.length:
+                raise ValueError("insert does not continue the run")
+            event.op = insert_op(old.pos, old.content + op.content)
+        else:
+            if op.pos != old.pos:
+                raise ValueError("delete does not continue the run")
+            event.op = delete_op(old.pos, old.length + op.length)
+        self._num_chars += op.length
+        self._next_seq[event.id.agent] = event.end_seq
+        self._notify("event_extended", index, op.length)
         return event
 
     def add_local_event(self, agent: str, op: Operation) -> Event:
@@ -315,6 +388,7 @@ class EventGraph:
         # The id range map refines: the left entry now covers less (its
         # length is consulted live) and the right half gets its own entry.
         self._agent_index[event.id.agent].register(right.id.seq, right)
+        self._notify("event_split", index)
         return right
 
     def dependency_id(self, index: int) -> EventId:

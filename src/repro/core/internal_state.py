@@ -51,7 +51,13 @@ from .records import (
     OriginRef,
     PlaceholderPiece,
 )
-from .sequence import Cursor, ListSequence, SequenceBackend, synthetic_record_id
+from .sequence import (
+    SYNTHETIC_AGENT,
+    Cursor,
+    ListSequence,
+    SequenceBackend,
+    carved_record_id,
+)
 
 __all__ = ["InternalState", "DeleteSegment"]
 
@@ -165,7 +171,10 @@ class InternalState:
                 take = min(remaining, item.length - offset)
                 effect_pos = self.sequence.effect_position_of_item(item, offset)
                 record = CrdtRecord(
-                    id=synthetic_record_id(take),
+                    # Deterministic ph_base-keyed id: adjacent carves (even by
+                    # separate deletes) get contiguous id spans, so they can
+                    # re-merge below like ordinary split records.
+                    id=carved_record_id(item.base + offset),
                     length=take,
                     prepare_state=INSERTED + 1,  # Del 1
                     ever_deleted=True,
@@ -270,13 +279,44 @@ class InternalState:
             return
         sequence = self.sequence
         nxt = sequence.next_item(record)
-        if isinstance(nxt, CrdtRecord) and record.can_merge_with(nxt):
+        if isinstance(nxt, CrdtRecord) and self._mergeable(record, nxt):
             sequence.merge_into_left(record, nxt)
             self.spans_merged += 1
         prev = sequence.prev_item(record)
-        if isinstance(prev, CrdtRecord) and prev.can_merge_with(record):
+        if isinstance(prev, CrdtRecord) and self._mergeable(prev, record):
             sequence.merge_into_left(prev, record)
             self.spans_merged += 1
+
+    @staticmethod
+    def _mergeable(left: CrdtRecord, right: CrdtRecord) -> bool:
+        """Span-merge test: the generic split-inverse rule, plus the
+        ph_base-keyed rule for placeholder carves.
+
+        Runs carved out of the placeholder by *separate* delete events never
+        satisfy :meth:`CrdtRecord.can_merge_with` on origins alone (fresh
+        carves are created with empty origins).  But carved records are keyed
+        by their original placeholder offset — deterministic, contiguous ids
+        (:func:`~repro.core.sequence.carved_record_id`) — and their origin
+        fields are never consulted: a carved record is never NotInsertedYet,
+        so the YATA integration scan never reads it, and references *to*
+        carved characters resolve through the carved index by ``ph_base``.
+        Two adjacent same-state carves from the same original placeholder are
+        therefore losslessly mergeable: a later split at the old boundary
+        restores records that behave identically everywhere they are read.
+        """
+        if left.can_merge_with(right):
+            return True
+        return (
+            left.ph_base is not None
+            and right.ph_base is not None
+            and right.ph_base == left.ph_base + left.length
+            and left.id.agent == SYNTHETIC_AGENT
+            and right.id.agent == SYNTHETIC_AGENT
+            and right.id.seq == left.end_seq
+            and right.prepare_state == left.prepare_state
+            and left.prepare_state != NOT_YET_INSERTED
+            and right.ever_deleted == left.ever_deleted
+        )
 
     def _coalesce_span(self, start_id: EventId, length: int) -> None:
         """Coalesce every record currently covering the id span, plus its

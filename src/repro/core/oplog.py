@@ -143,12 +143,29 @@ def recarve_events(
 
 
 class OpLog:
-    """A replica's event graph plus convenience editing / replication APIs."""
+    """A replica's event graph plus convenience editing / replication APIs.
 
-    def __init__(self, agent: str | None = None) -> None:
+    Args:
+        agent: default agent name for local edits.
+        coalesce_local_runs: when a local edit *continues* the frontier run —
+            same agent, an insert picking up exactly where the run ended or a
+            delete at the run's index — extend that run event in place
+            instead of appending a new event.  This is the sender-side
+            counterpart of split-on-ingest (diamond-types' oplog coalescing):
+            a keystroke-at-a-time session stores O(runs) events at the
+            source, and the extension is a legal re-encoding of the same
+            history (:func:`merge_remote_events` accepts exactly these
+            pairs), so peers holding the shorter run are reconciled by the
+            usual carving machinery.
+    """
+
+    def __init__(
+        self, agent: str | None = None, *, coalesce_local_runs: bool = True
+    ) -> None:
         self.graph = EventGraph()
         self.causal = CausalGraph(self.graph)
         self.agent = agent
+        self.coalesce_local_runs = coalesce_local_runs
 
     # ------------------------------------------------------------------
     # Local editing
@@ -159,10 +176,16 @@ class OpLog:
         The whole run is stored as a single event whose id names its first
         character — O(1) events and id-map entries per run instead of
         O(chars).  The per-character view is recoverable with
-        :func:`repro.core.event_graph.expand_to_chars`.
+        :func:`repro.core.event_graph.expand_to_chars`.  With
+        ``coalesce_local_runs`` the event may be the *extended* frontier run
+        rather than a new event.
         """
         agent_name = self._agent(agent)
-        return self.graph.add_local_event(agent_name, insert_op(pos, content))
+        op = insert_op(pos, content)
+        extended = self._try_extend_frontier_run(agent_name, op)
+        if extended is not None:
+            return extended
+        return self.graph.add_local_event(agent_name, op)
 
     def add_delete(self, pos: int, length: int = 1, *, agent: str | None = None) -> Event:
         """Record a local deletion of ``length`` characters starting at ``pos``.
@@ -170,10 +193,36 @@ class OpLog:
         Stored as a single run event: deleting ``length`` characters at
         ``pos`` removes ``pos .. pos+length-1`` of the version the event was
         generated against (each character lands on the same index once its
-        predecessors are gone).
+        predecessors are gone).  With ``coalesce_local_runs`` a delete at the
+        frontier delete run's index extends that run in place (holding the
+        Delete key produces one event).
         """
         agent_name = self._agent(agent)
-        return self.graph.add_local_event(agent_name, delete_op(pos, length))
+        op = delete_op(pos, length)
+        extended = self._try_extend_frontier_run(agent_name, op)
+        if extended is not None:
+            return extended
+        return self.graph.add_local_event(agent_name, op)
+
+    def _try_extend_frontier_run(self, agent: str, op: Operation) -> Event | None:
+        """Extend the frontier run in place if ``op`` continues it."""
+        if not self.coalesce_local_runs:
+            return None
+        frontier = self.graph.frontier
+        if len(frontier) != 1:
+            return None
+        event = self.graph[frontier[0]]
+        if (
+            event.id.agent != agent
+            or self.graph.next_seq_for(agent) != event.end_seq
+            or event.op.kind is not op.kind
+        ):
+            return None
+        if op.is_insert and op.pos != event.op.pos + event.op.length:
+            return None
+        if op.is_delete and op.pos != event.op.pos:
+            return None
+        return self.graph.extend_event(event.index, op)
 
     def _agent(self, agent: str | None) -> str:
         name = agent if agent is not None else self.agent
@@ -213,6 +262,42 @@ class OpLog:
                     op=event.op,
                 )
             )
+        return out
+
+    def export_since_seq(self, agent: str, seq: int) -> list[RemoteEvent]:
+        """Portable events covering ``agent``'s own characters from ``seq`` on.
+
+        The broadcast-after-edit helper for sender-side run coalescing: a
+        local edit may have *extended* an existing event instead of creating
+        one, in which case only the new suffix must travel.  A mid-run suffix
+        is exported exactly like :func:`split_remote_event` would carve it —
+        depending on the previous character of the run — which receivers
+        already handle (run boundaries are a local encoding detail).
+        """
+        out: list[RemoteEvent] = []
+        end = self.graph.next_seq_for(agent)
+        while seq < end:
+            index, offset = self.graph.locate(EventId(agent, seq))
+            event = self.graph[index]
+            if offset == 0:
+                out.append(
+                    RemoteEvent(
+                        id=event.id,
+                        parents=tuple(
+                            self.graph.dependency_id(p) for p in event.parents
+                        ),
+                        op=event.op,
+                    )
+                )
+            else:
+                out.append(
+                    RemoteEvent(
+                        id=event.id.advance(offset),
+                        parents=(event.id.advance(offset - 1),),
+                        op=event.op.slice(offset, event.op.length - offset),
+                    )
+                )
+            seq = event.end_seq
         return out
 
     def events_since(self, remote_version: Sequence[EventId]) -> list[RemoteEvent]:

@@ -44,7 +44,14 @@ from .records import (
     placeholder_origin,
 )
 
-__all__ = ["Cursor", "SequenceBackend", "ListSequence", "synthetic_record_id"]
+__all__ = [
+    "Cursor",
+    "SequenceBackend",
+    "ListSequence",
+    "synthetic_record_id",
+    "carved_record_id",
+    "SYNTHETIC_AGENT",
+]
 
 _synthetic_counter = itertools.count()
 
@@ -64,6 +71,22 @@ def synthetic_record_id(length: int = 1) -> EventId:
     for _ in range(length - 1):
         next(_synthetic_counter)
     return EventId(SYNTHETIC_AGENT, start)
+
+
+def carved_record_id(original_offset: int) -> EventId:
+    """The id of the carved-record character at an original placeholder offset.
+
+    Carved runs are keyed by their position in the *original* placeholder
+    (their ``ph_base``), so the id is deterministic: ``offset`` within one
+    clear-to-clear era names the same character forever.  Runs carved out of
+    adjacent placeholder spans by *separate* deletes therefore get contiguous
+    id spans and can re-merge like any other split record — with the
+    counter-based :func:`synthetic_record_id` they never could, because the
+    counter advances between carves.  Offsets are unique within an era (a
+    placeholder character can only be carved once) and the whole id space is
+    reset with the state, so collisions are impossible.
+    """
+    return EventId(SYNTHETIC_AGENT, original_offset)
 
 
 @dataclass(slots=True)

@@ -93,11 +93,19 @@ class WalkerStats:
 
 @dataclass(slots=True)
 class ReplayResult:
-    """The outcome of a replay: transformed operations plus bookkeeping."""
+    """The outcome of a replay: transformed operations plus bookkeeping.
+
+    ``state`` and ``prepare_version`` describe where the walker's internal
+    CRDT state ended up; a caller that keeps them (the merge engine) can feed
+    them back into :meth:`EgWalker.transform` to *resume* — replaying only new
+    events against the live state instead of rebuilding the whole window.
+    """
 
     transformed: list[TransformedOp]
     final_length: int
     stats: WalkerStats = field(default_factory=WalkerStats)
+    state: InternalState | None = None
+    prepare_version: Version = ()
 
     def ops(self) -> list[Operation]:
         """The non-noop transformed operations, in replay order."""
@@ -198,6 +206,9 @@ class EgWalker:
         base_doc_length: int = 0,
         order: Sequence[int] | None = None,
         emit_only: set[int] | None = None,
+        state: InternalState | None = None,
+        start_prepare_version: Version | None = None,
+        clearing: bool | None = None,
     ) -> ReplayResult:
         """Replay ``events`` and return the transformed operation sequence.
 
@@ -217,10 +228,24 @@ class EgWalker:
             emit_only: if given, transformed operations are only collected for
                 these events (the rest are replayed silently, as in the merge
                 procedure of §3.6).
+            state: an existing :class:`InternalState` to **resume** from (the
+                live state a previous ``transform`` returned).  The replayed
+                events are applied on top of it; the events it already covers
+                must not be replayed again.  When given, ``base_doc_length``
+                is ignored (the state already holds its placeholder).
+            start_prepare_version: the prepare version the resumed state was
+                left at (``ReplayResult.prepare_version`` of the previous
+                call).  Defaults to ``base_version``.
+            clearing: per-call override of ``enable_clearing``.  A resuming
+                caller passes ``False``: criticality of the replayed subset
+                alone says nothing about the events already folded into the
+                live state, so clearing decisions belong to the engine, not
+                the walker.
 
         Returns:
             A :class:`ReplayResult` with one :class:`TransformedOp` per
-            emitted event, in replay order.
+            emitted event, in replay order, plus the final internal state and
+            prepare version for callers that resume.
         """
         graph = self.graph
         if events is None:
@@ -233,15 +258,19 @@ class EgWalker:
             order = list(order)
 
         stats = WalkerStats()
-        state = InternalState(
-            self._make_backend(base_doc_length), merge_spans=self.enable_span_merging
-        )
+        if state is None:
+            state = InternalState(
+                self._make_backend(base_doc_length), merge_spans=self.enable_span_merging
+            )
+        use_clearing = self.enable_clearing if clearing is None else clearing
         cuts: set[int] = set()
-        if self.enable_clearing:
+        if use_clearing:
             cuts = critical_cut_positions(graph, order)
 
         transformed: list[TransformedOp] = []
-        prepare_version: Version = base_version
+        prepare_version: Version = (
+            start_prepare_version if start_prepare_version is not None else base_version
+        )
         doc_length = base_doc_length
         needs_reset = False
 
@@ -250,8 +279,8 @@ class EgWalker:
             op = event.op
             stats.events_processed += 1
             stats.chars_processed += op.length
-            parent_critical = self.enable_clearing and (pos == 0 or (pos - 1) in cuts)
-            own_critical = self.enable_clearing and pos in cuts
+            parent_critical = use_clearing and (pos == 0 or (pos - 1) in cuts)
+            own_critical = use_clearing and pos in cuts
 
             if parent_critical and own_critical:
                 # Fast path (§3.5): both the event's parents and the event
@@ -322,7 +351,13 @@ class EgWalker:
         stats.spans_merged = state.spans_merged
         stats.final_records = state.record_count()
         self.last_stats = stats
-        return ReplayResult(transformed=transformed, final_length=doc_length, stats=stats)
+        return ReplayResult(
+            transformed=transformed,
+            final_length=doc_length,
+            stats=stats,
+            state=state,
+            prepare_version=prepare_version,
+        )
 
     def replay_text(
         self,

@@ -26,7 +26,14 @@ from typing import Iterable
 from ..core.document import Document
 from ..core.oplog import RemoteEvent
 
-__all__ = ["Message", "SimulatedReplica", "NetworkSimulator", "full_mesh", "star"]
+__all__ = [
+    "Message",
+    "SimulatedReplica",
+    "NetworkSimulator",
+    "full_mesh",
+    "star",
+    "live_session",
+]
 
 
 @dataclass(order=True)
@@ -43,10 +50,15 @@ class Message:
 class SimulatedReplica:
     """A replica participating in a simulated editing session."""
 
-    def __init__(self, name: str, simulator: "NetworkSimulator") -> None:
+    def __init__(
+        self,
+        name: str,
+        simulator: "NetworkSimulator",
+        document_options: dict | None = None,
+    ) -> None:
         self.name = name
         self.simulator = simulator
-        self.document = Document(name)
+        self.document = Document(name, **(document_options or {}))
         self.buffer = CausalBufferAdapter(self)
         self.online = True
         self.forward = False
@@ -54,14 +66,14 @@ class SimulatedReplica:
 
     # -- local editing --------------------------------------------------
     def insert(self, pos: int, content: str) -> None:
-        before = len(self.document.oplog.graph)
+        before_seq = self.document.oplog.graph.next_seq_for(self.name)
         self.document.insert(pos, content)
-        self._broadcast_since(before)
+        self._broadcast_delta(before_seq)
 
     def delete(self, pos: int, length: int = 1) -> None:
-        before = len(self.document.oplog.graph)
+        before_seq = self.document.oplog.graph.next_seq_for(self.name)
         self.document.delete(pos, length)
-        self._broadcast_since(before)
+        self._broadcast_delta(before_seq)
 
     @property
     def text(self) -> str:
@@ -76,10 +88,11 @@ class SimulatedReplica:
             self.simulator.flush_offline_queue(self.name)
             self.simulator.release_held_messages(self.name)
 
-    def _broadcast_since(self, first_index: int) -> None:
-        events = self.document.oplog.export_events(
-            range(first_index, len(self.document.oplog.graph))
-        )
+    def _broadcast_delta(self, before_seq: int) -> None:
+        # Export by id span, not by event index: with sender-side run
+        # coalescing a local edit may have extended an existing event, and
+        # only the new suffix should travel.
+        events = self.document.oplog.export_since_seq(self.name, before_seq)
         self.buffer.mark_local(events)
         self.simulator.broadcast(self.name, events)
 
@@ -130,8 +143,11 @@ class CausalBufferAdapter:
 class NetworkSimulator:
     """Virtual-time message delivery between replicas."""
 
-    def __init__(self, default_latency: float = 0.05) -> None:
+    def __init__(
+        self, default_latency: float = 0.05, *, document_options: dict | None = None
+    ) -> None:
         self.default_latency = default_latency
+        self.document_options = dict(document_options or {})
         self.replicas: dict[str, SimulatedReplica] = {}
         self.links: dict[tuple[str, str], float] = {}
         self.partitioned: set[tuple[str, str]] = set()
@@ -147,7 +163,7 @@ class NetworkSimulator:
     def add_replica(self, name: str) -> SimulatedReplica:
         if name in self.replicas:
             raise ValueError(f"duplicate replica name {name!r}")
-        replica = SimulatedReplica(name, self)
+        replica = SimulatedReplica(name, self, self.document_options)
         self.replicas[name] = replica
         self._offline_queues[name] = []
         self._held_for_offline[name] = []
@@ -256,9 +272,14 @@ class NetworkSimulator:
         return len(texts) <= 1
 
 
-def full_mesh(names: Iterable[str], latency: float = 0.05) -> NetworkSimulator:
+def full_mesh(
+    names: Iterable[str],
+    latency: float = 0.05,
+    *,
+    document_options: dict | None = None,
+) -> NetworkSimulator:
     """A peer-to-peer topology: every replica talks to every other replica."""
-    simulator = NetworkSimulator(default_latency=latency)
+    simulator = NetworkSimulator(default_latency=latency, document_options=document_options)
     names = list(names)
     for name in names:
         simulator.add_replica(name)
@@ -268,16 +289,64 @@ def full_mesh(names: Iterable[str], latency: float = 0.05) -> NetworkSimulator:
     return simulator
 
 
-def star(hub: str, leaves: Iterable[str], latency: float = 0.05) -> NetworkSimulator:
+def star(
+    hub: str,
+    leaves: Iterable[str],
+    latency: float = 0.05,
+    *,
+    document_options: dict | None = None,
+) -> NetworkSimulator:
     """A relay-server topology: all traffic flows through ``hub``.
 
     The hub is itself a replica (a store-and-forward server holding the event
     graph); leaves only exchange events with the hub, which re-broadcasts them.
     """
-    simulator = NetworkSimulator(default_latency=latency)
+    simulator = NetworkSimulator(default_latency=latency, document_options=document_options)
     hub_replica = simulator.add_replica(hub)
     hub_replica.forward = True
     for leaf in leaves:
         simulator.add_replica(leaf)
         simulator.connect(hub, leaf, latency)
     return simulator
+
+
+def live_session(
+    names: Iterable[str],
+    *,
+    rounds: int = 60,
+    seed: int = 0,
+    latency: float = 0.02,
+    concurrency: float = 0.25,
+    document_options: dict | None = None,
+) -> NetworkSimulator:
+    """Drive a realistic *live* editing session and return the quiesced network.
+
+    Models the steady state the merge engine exists for: most of the time one
+    author types while the others watch (their replicas take the sequential
+    fast path on every delivery), and with probability ``concurrency`` two
+    authors type in the same latency window, creating a short concurrent
+    episode that resolves within a round.  Used by the live-merge benchmark
+    and the engine tests; deterministic given ``seed``.
+    """
+    import random
+
+    rng = random.Random(seed)
+    names = list(names)
+    sim = full_mesh(names, latency=latency, document_options=document_options)
+    words = ["alpha ", "beta ", "gamma ", "delta ", "epsilon ", "zeta "]
+    for _ in range(rounds):
+        editors = [rng.choice(names)]
+        if len(names) > 1 and rng.random() < concurrency:
+            editors.append(rng.choice([n for n in names if n != editors[0]]))
+        for name in editors:
+            replica = sim.replicas[name]
+            text_len = len(replica.text)
+            if text_len > 30 and rng.random() < 0.2:
+                pos = rng.randrange(text_len - 4)
+                replica.delete(pos, rng.randint(1, 4))
+            else:
+                word = rng.choice(words)
+                replica.insert(rng.randint(0, text_len), word)
+        sim.advance(latency * 4)
+    sim.run_until_quiescent()
+    return sim

@@ -51,8 +51,22 @@ class TestLocalEditing:
         assert doc.version == ()
         doc.insert(0, "ab")
         assert doc.version == (0,)
+        # Typing straight on extends the frontier run in place (sender-side
+        # coalescing): still one event, covering all four characters.
+        doc.insert(2, "cd")
+        assert doc.version == (0,)
+        assert len(doc.oplog) == 1
+        assert doc.oplog.graph.num_chars == 4
+        # A non-continuing edit (here: a jump back) starts a new run event.
+        doc.insert(0, "x")
+        assert doc.version == (1,)
+
+    def test_local_run_coalescing_can_be_disabled(self):
+        doc = Document("alice", coalesce_local_runs=False)
+        doc.insert(0, "ab")
         doc.insert(2, "cd")
         assert doc.version == (1,)
+        assert len(doc.oplog) == 2
 
 
 class TestMerging:
@@ -153,7 +167,9 @@ class TestMerging:
 
 class TestHistory:
     def test_text_at_version(self):
-        doc = Document("alice")
+        # Index-based snapshots are stable when coalescing is off (every edit
+        # is its own event, so indices never change meaning).
+        doc = Document("alice", coalesce_local_runs=False)
         doc.insert(0, "abc")
         version_after_abc = doc.version
         doc.insert(3, "def")
@@ -161,13 +177,43 @@ class TestHistory:
         assert doc.text_at(version_after_abc) == "abc"
         assert doc.text_at(doc.version) == doc.text
 
+    def test_text_at_remote_survives_run_coalescing(self):
+        """With coalescing on, a snapshot taken as character ids keeps naming
+        the same prefix even after the frontier run grows in place."""
+        doc = Document("alice")
+        doc.insert(0, "abc")
+        snapshot = doc.remote_version()
+        doc.insert(3, "def")  # extends the same run event
+        doc.delete(0, 1)
+        assert len(doc.oplog) == 2  # the two inserts coalesced
+        assert doc.text_at_remote(snapshot) == "abc"
+        assert doc.text_at(doc.version) == doc.text
+
+    def test_text_at_remote_is_order_independent(self):
+        """Resolving a snapshot must not be corrupted by the run splits the
+        resolution itself performs (each split shifts later indices)."""
+        p = Document("p")
+        p.insert(0, "pppp")
+        q = Document("q")
+        q.merge(p)
+        q.insert(0, "SSSS")
+        p.insert(4, "RRRR")  # concurrent with q's insert, coalesces with run
+        p.merge(q)
+        q.merge(p)
+        snapshot = (EventId("q", 1), EventId("p", 5))
+        expected = p.text_at_remote(tuple(reversed(snapshot)))
+        assert p.text_at_remote(snapshot) == expected
+        assert "SS" in expected and "pppp" in expected
+
     def test_history_versions_enumeration(self):
         doc = Document("alice")
         doc.insert(0, "x")
-        doc.insert(1, "y")
+        doc.insert(1, "y")  # continues the run: same event
+        assert doc.history_versions() == [(0,)]
+        doc.insert(0, "a")  # cursor jump: new run event
         versions = doc.history_versions()
         assert versions == [(0,), (1,)]
-        assert [doc.text_at(v) for v in versions] == ["x", "xy"]
+        assert [doc.text_at(v) for v in versions] == ["xy", "axy"]
 
     def test_history_versions_are_per_run_event(self):
         doc = Document("alice")

@@ -1,12 +1,17 @@
-"""Randomized convergence fuzzer for partial-run interop.
+"""Randomized convergence fuzzer for partial-run interop and the merge engine.
 
 Drives N replicas through the :class:`~repro.network.simulator.NetworkSimulator`
 with a mix of
 
-* insert/delete runs of mixed sizes (1..6 characters),
+* insert/delete runs of mixed sizes (1..6 characters) — with sender-side run
+  coalescing live, so consecutive edits extend frontier runs in place and
+  only suffix deltas travel,
 * partitions and heals between random pairs (heal resends use
   ``events_since``, whose version boundaries can land mid-run and split
-  stored runs), and
+  stored runs),
+* **offline/online toggles**: an offline replica queues its outgoing edits
+  and has incoming messages held, then floods everything on reconnect —
+  mixed freely with the re-carved syncs below (the PR 2 gap),
 * **re-carved direct syncs**: a random causally-closed prefix of one
   replica's exported events is re-encoded with different run boundaries
   (random splits, random adjacent-run merges) and ingested by another
@@ -15,8 +20,11 @@ with a mix of
   partial-overlap ingestion everywhere that event travels — the
   split-on-ingest paths this fuzzer exists to hammer.
 
-After healing everything and draining the network, every replica must hold
-the same text, and that text must match the per-character
+Sessions run on a full mesh and on a star (relay) topology, and every
+configuration runs with the incremental merge engine both **enabled and
+disabled** (the legacy rebuild path): after healing everything and draining
+the network, every replica must hold the same text in both modes, and that
+text must match the per-character
 :func:`~repro.core.event_graph.expand_to_chars` oracle replayed with the
 simple list backend.
 
@@ -34,7 +42,7 @@ from repro.core.document import Document
 from repro.core.event_graph import expand_to_chars
 from repro.core.oplog import recarve_events
 from repro.core.walker import EgWalker
-from repro.network.simulator import full_mesh
+from repro.network.simulator import full_mesh, star
 
 BASE_SEED = 0xE6_2024
 ALPHABET = "abcdefghijklmnopqrstuvwxyz"
@@ -58,23 +66,38 @@ def random_recarve(rng: random.Random, events):
     return recarve_events(events, splits=splits, merge_adjacent=rng.random() < 0.5)
 
 
-def run_session(seed: int, *, replicas: int = 3, steps: int = 28) -> None:
+def run_session(
+    seed: int,
+    *,
+    replicas: int = 3,
+    steps: int = 28,
+    incremental: bool = True,
+    topology: str = "mesh",
+) -> None:
     rng = random.Random(seed)
     names = [f"r{i}" for i in range(replicas)]
-    sim = full_mesh(names, latency=0.01)
+    # Sender-side run coalescing alternates by seed, so both the extended
+    # and the one-event-per-edit encodings are fuzzed at no extra cost.
+    document_options = {"incremental": incremental, "coalesce_local_runs": seed % 2 == 0}
+    if topology == "star":
+        sim = star("hub", names, latency=0.01, document_options=document_options)
+        all_names = ["hub", *names]
+    else:
+        sim = full_mesh(names, latency=0.01, document_options=document_options)
+        all_names = names
     partitioned: set[frozenset[str]] = set()
 
     for _ in range(steps):
         roll = rng.random()
         replica = sim.replicas[rng.choice(names)]
-        if roll < 0.50 or not replica.text:
+        if roll < 0.45 or not replica.text:
             pos = rng.randint(0, len(replica.text))
             length = rng.randint(1, 6)
             replica.insert(pos, "".join(rng.choice(ALPHABET) for _ in range(length)))
-        elif roll < 0.70:
+        elif roll < 0.62:
             pos = rng.randrange(len(replica.text))
             replica.delete(pos, min(rng.randint(1, 4), len(replica.text) - pos))
-        elif roll < 0.80:
+        elif roll < 0.72 and topology == "mesh":
             a, b = rng.sample(names, 2)
             key = frozenset((a, b))
             if key in partitioned:
@@ -83,6 +106,12 @@ def run_session(seed: int, *, replicas: int = 3, steps: int = 28) -> None:
             else:
                 sim.partition(a, b)
                 partitioned.add(key)
+        elif roll < 0.80:
+            # Offline/online toggle: outgoing edits queue up, incoming
+            # messages are held, and everything floods on reconnect — while
+            # re-carved syncs (below) may slip the same spans in out of band.
+            toggled = sim.replicas[rng.choice(names)]
+            toggled.set_online(not toggled.online)
         else:
             # Re-carved direct sync of a random causally-closed prefix: the
             # receiver can end up holding a strict prefix of a peer's run and
@@ -94,31 +123,56 @@ def run_session(seed: int, *, replicas: int = 3, steps: int = 28) -> None:
             sim.replicas[b].sync_direct(prefix)
         sim.advance(rng.random() * 0.03)
 
+    for name in all_names:
+        sim.replicas[name].set_online(True)
     for key in list(partitioned):
         a, b = sorted(key)
         sim.heal(a, b)
     # Direct syncs bypass the broadcast path, so make sure every pair has
     # exchanged anything a heal-less run might still be missing.
-    for i, a in enumerate(names):
-        for b in names[i + 1 :]:
+    for i, a in enumerate(all_names):
+        for b in all_names[i + 1 :]:
             sim.heal(a, b)
     sim.run_until_quiescent()
 
     texts = {name: replica.text for name, replica in sim.replicas.items()}
-    assert len(set(texts.values())) == 1, f"replicas diverged (seed {seed}): {texts}"
+    assert len(set(texts.values())) == 1, (
+        f"replicas diverged (seed {seed}, incremental={incremental}, "
+        f"{topology}): {texts}"
+    )
     expected = next(iter(texts.values()))
     for name, replica in sim.replicas.items():
         assert oracle_text(replica.document) == expected, (
-            f"replica {name} disagrees with the per-character oracle (seed {seed})"
+            f"replica {name} disagrees with the per-character oracle "
+            f"(seed {seed}, incremental={incremental}, {topology})"
         )
 
 
 def test_convergence_fuzz(fuzz_iterations):
+    """Mesh sessions, every seed run with the merge engine on and off."""
     for i in range(fuzz_iterations):
-        run_session(BASE_SEED + i)
+        for incremental in (True, False):
+            run_session(BASE_SEED + i, incremental=incremental)
+
+
+def test_convergence_fuzz_star(fuzz_iterations):
+    """Star (relay) sessions: all traffic through a forwarding hub, mixed
+    with offline toggles and re-carved direct syncs between leaves."""
+    for i in range(max(1, fuzz_iterations // 2)):
+        for incremental in (True, False):
+            run_session(BASE_SEED + 50_000 + i, incremental=incremental, topology="star")
 
 
 def test_larger_sessions_converge():
     """A few bigger sessions (more replicas, more steps), fixed seeds."""
     for offset in range(3):
-        run_session(BASE_SEED + 10_000 + offset, replicas=4, steps=48)
+        for incremental in (True, False):
+            run_session(
+                BASE_SEED + 10_000 + offset,
+                replicas=4,
+                steps=48,
+                incremental=incremental,
+            )
+        run_session(
+            BASE_SEED + 20_000 + offset, replicas=4, steps=48, topology="star"
+        )

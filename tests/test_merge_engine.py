@@ -1,0 +1,391 @@
+"""Tests for the incremental merge engine (O(new events) live merges).
+
+Covers the three pillars of the engine:
+
+* the :class:`CriticalCutTracker` maintains exactly the set
+  :func:`critical_cut_positions` would compute, under appends, interop
+  splits and in-place extensions (property-checked against the batch
+  function on randomized histories);
+* the sequential fast path and the checkpoint (resident walker state)
+  machinery: a quiescent merge touches O(new events), never O(history) —
+  proven by engine stat counters, with the legacy rebuild path
+  (``incremental=False``) as the contrast;
+* end-to-end equivalence: incremental and legacy documents, and the
+  per-character oracle, produce identical texts on randomized sessions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.critical_versions import CriticalCutTracker, critical_cut_positions
+from repro.core.document import Document
+from repro.core.event_graph import EventGraph, expand_to_chars
+from repro.core.ids import EventId, delete_op, insert_op
+from repro.core.walker import EgWalker
+from repro.network.simulator import live_session
+
+
+def oracle_text(document: Document) -> str:
+    expanded = expand_to_chars(document.oplog.graph)
+    return EgWalker(expanded, backend="list", enable_clearing=False).replay_text()
+
+
+# ----------------------------------------------------------------------
+# The incremental critical-cut tracker
+# ----------------------------------------------------------------------
+class TestCriticalCutTracker:
+    def check(self, graph: EventGraph, tracker: CriticalCutTracker) -> None:
+        expected = sorted(critical_cut_positions(graph, range(len(graph))))
+        assert tracker.cuts() == expected
+
+    def test_sequential_appends_are_all_cuts(self):
+        graph = EventGraph()
+        tracker = CriticalCutTracker(graph)
+        for i in range(5):
+            graph.add_local_event("a", insert_op(i, "x"))
+        assert tracker.cuts() == [0, 1, 2, 3, 4]
+        assert tracker.latest_cut() == 4
+        assert tracker.all_cuts_from(0)
+        self.check(graph, tracker)
+
+    def test_concurrent_branch_kills_cuts_behind_its_fork(self):
+        graph = EventGraph()
+        tracker = CriticalCutTracker(graph)
+        graph.add_local_event("a", insert_op(0, "abc"))
+        graph.add_local_event("a", insert_op(3, "def"))
+        # A branch forking from event 0 invalidates the cut after event 1.
+        graph.add_event(EventId("b", 0), (0,), insert_op(1, "z"), parents_are_indices=True)
+        self.check(graph, tracker)
+        assert tracker.cuts() == [0]
+        # A merge event dominating both heads becomes a new cut.
+        graph.add_event(
+            EventId("a", 6), (1, 2), insert_op(0, "m"), parents_are_indices=True
+        )
+        self.check(graph, tracker)
+        assert tracker.cuts() == [0, 3]
+        assert tracker.latest_cut_before(3) == 0
+        assert tracker.latest_cut_before(4) == 3
+
+    def test_parentless_second_root_clears_all_cuts(self):
+        graph = EventGraph()
+        tracker = CriticalCutTracker(graph)
+        graph.add_local_event("a", insert_op(0, "abc"))
+        assert tracker.cuts() == [0]
+        graph.add_event(EventId("b", 0), (), insert_op(0, "z"), parents_are_indices=True)
+        self.check(graph, tracker)
+        assert tracker.cuts() == []
+
+    def test_split_shifts_and_twins_cuts(self):
+        graph = EventGraph()
+        tracker = CriticalCutTracker(graph)
+        graph.add_local_event("a", insert_op(0, "abcdef"))
+        graph.add_local_event("a", insert_op(6, "gh"))
+        assert tracker.cuts() == [0, 1]
+        graph.split_event(0, 3)  # semantic no-op: both halves are cuts
+        self.check(graph, tracker)
+        assert tracker.cuts() == [0, 1, 2]
+
+    def test_extension_keeps_cuts(self):
+        graph = EventGraph()
+        tracker = CriticalCutTracker(graph)
+        graph.add_local_event("a", insert_op(0, "ab"))
+        graph.extend_event(0, insert_op(2, "cd"))
+        self.check(graph, tracker)
+        assert tracker.cuts() == [0]
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_batch_computation_on_random_histories(self, seed):
+        """Random appends (sequential runs, forks, merges) + random splits:
+        the tracker must always equal the linear-pass recomputation."""
+        rng = random.Random(0xC07 + seed)
+        graph = EventGraph()
+        tracker = CriticalCutTracker(graph)
+        next_seq = {"a": 0, "b": 0, "c": 0}
+        for step in range(40):
+            roll = rng.random()
+            if len(graph) and roll < 0.15:
+                # Interop-style split of a random multi-char run.
+                candidates = [e.index for e in graph.events() if e.op.length >= 2]
+                if candidates:
+                    idx = rng.choice(candidates)
+                    graph.split_event(idx, rng.randint(1, graph[idx].op.length - 1))
+                    self.check(graph, tracker)
+                    continue
+            agent = rng.choice(["a", "b", "c"])
+            length = rng.randint(1, 4)
+            if not len(graph) or roll < 0.6:
+                parents = graph.frontier  # extends everything: sequential
+            else:
+                # Fork from a random old event (concurrent branch).
+                parents = (rng.randrange(len(graph)),)
+            op = insert_op(0, "x" * length)
+            graph.add_event(
+                EventId(agent, next_seq[agent]), parents, op, parents_are_indices=True
+            )
+            next_seq[agent] += length
+            self.check(graph, tracker)
+
+
+# ----------------------------------------------------------------------
+# The O(new events) acceptance claim
+# ----------------------------------------------------------------------
+class TestQuiescentMergeCost:
+    def build_peer_pair(self, history_events: int, *, incremental: bool):
+        """An editor with ``history_events`` runs of quiescent history and a
+        fully synced watcher using the given engine mode."""
+        editor = Document("editor")
+        for i in range(history_events):
+            # Alternate kinds so coalescing keeps one event per call.
+            if i % 2 == 0:
+                editor.insert(len(editor.text), f"w{i} ")
+            else:
+                editor.delete(0, 1)
+        watcher = Document("watcher", incremental=incremental)
+        watcher.merge(editor)
+        return editor, watcher
+
+    def test_incremental_merge_touches_only_new_events(self):
+        editor, watcher = self.build_peer_pair(300, incremental=True)
+        n = len(editor.oplog.graph)
+        assert n >= 300
+        baseline = watcher.merge_stats.snapshot()
+        editor.insert(len(editor.text), "new!")
+        watcher.merge(editor)
+        stats = watcher.merge_stats
+        # One new event, O(1) work: fast path, no walker, no O(history)
+        # bookkeeping of any kind.
+        assert stats.last_merge_events_touched == 1
+        assert stats.fast_path_merges == baseline["fast_path_merges"] + 1
+        assert stats.cut_scan_events == 0
+        assert stats.order_events_materialised == 0
+        assert stats.walkers_rebuilt == 0
+        assert stats.replayed_new_events == baseline["replayed_new_events"]
+        assert watcher.text == editor.text
+        # Steady state: no resident walker state, memory is just the text.
+        assert not watcher.engine.has_resident_state
+
+    def test_legacy_merge_pays_o_history_bookkeeping(self):
+        editor, watcher = self.build_peer_pair(300, incremental=False)
+        n = len(editor.oplog.graph)
+        before = watcher.merge_stats.cut_scan_events
+        editor.insert(len(editor.text), "new!")
+        watcher.merge(editor)
+        stats = watcher.merge_stats
+        # The rebuild path re-scans the whole order for critical cuts and
+        # materialises it, every single merge.
+        assert stats.cut_scan_events - before >= n
+        assert stats.last_merge_events_touched >= n
+        assert stats.walkers_rebuilt >= 1
+        assert watcher.text == editor.text
+
+    def test_per_merge_work_is_flat_in_history_length(self):
+        """The acceptance curve in miniature: per-merge work at N and at 4N
+        history must be identical for the engine, growing for the rebuild."""
+        work = {}
+        for mode in (True, False):
+            for n in (100, 400):
+                editor, watcher = self.build_peer_pair(n, incremental=mode)
+                editor.insert(len(editor.text), "x")
+                watcher.merge(editor)
+                work[(mode, n)] = watcher.merge_stats.last_merge_events_touched
+        assert work[(True, 100)] == work[(True, 400)] == 1
+        assert work[(False, 400)] >= work[(False, 100)] + 300
+
+
+class TestSequentialFastPath:
+    def test_fast_path_applies_ops_verbatim_without_walker(self):
+        alice = Document("alice")
+        bob = Document("bob")
+        alice.insert(0, "hello world")
+        alice.delete(5, 6)
+        bob.merge(alice)
+        stats = bob.merge_stats
+        assert stats.fast_path_merges == 1
+        assert stats.fresh_replays == 0 and stats.resumed_merges == 0
+        assert bob.text == "hello"
+
+    def test_fast_path_batches_rope_edits_through_coalescer(self):
+        alice = Document("alice", coalesce_local_runs=False)
+        for i in range(6):
+            alice.insert(len(alice.text), "ab")  # six separate run events
+        bob = Document("bob")
+        ops = bob.merge(alice)
+        # Six sequential insert runs coalesce into one rope edit.
+        assert len(ops) == 1
+        assert ops[0].content == "ab" * 6
+        assert bob.merge_stats.fast_path_events == 6
+        assert bob.text == alice.text
+
+
+# ----------------------------------------------------------------------
+# Resident walker state between merges
+# ----------------------------------------------------------------------
+class TestResidentState:
+    def test_concurrent_episode_resumes_instead_of_replaying(self):
+        """During a ping-pong concurrent episode with no critical versions,
+        the second and later merges replay only their own new events."""
+        alice = Document("alice")
+        bob = Document("bob")
+        alice.insert(0, "base ")
+        bob.merge(alice)
+
+        # Create sustained concurrency: both sides keep typing and merging
+        # one-way (alice never sends her new edits back immediately), so no
+        # new critical version forms on bob's side.
+        alice.insert(5, "a1 ")
+        bob.insert(0, "b1 ")
+        bob.merge(alice)
+        assert bob.engine.has_resident_state
+        first = bob.merge_stats.snapshot()
+        assert first["fresh_replays"] == 1
+
+        alice.insert(0, "a2 ")
+        bob.insert(0, "b2 ")
+        bob.merge(alice)
+        stats = bob.merge_stats
+        assert stats.resumed_merges == first["resumed_merges"] + 1
+        assert stats.fresh_replays == first["fresh_replays"]  # no re-replay
+        # Work = the local gap event + the one new remote event.
+        assert stats.last_merge_events_touched <= 3
+
+    def test_checkpoint_dropped_when_critical_version_forms(self):
+        alice = Document("alice")
+        bob = Document("bob")
+        alice.insert(0, "base ")
+        bob.merge(alice)
+        alice.insert(5, "a1 ")
+        bob.insert(0, "b1 ")
+        bob.merge(alice)
+        assert bob.engine.has_resident_state
+        # Alice sees everything of bob, then types: her next event dominates
+        # all heads, forming a critical version — bob returns to text-only.
+        alice.merge(bob)
+        alice.insert(0, "sync ")
+        bob.merge(alice)
+        assert not bob.engine.has_resident_state
+        assert bob.engine.resident_record_count() == 0
+        bob.merge(alice)  # idempotent no-op merge stays clean
+        assert bob.text.startswith("sync ")
+        assert alice.merge(bob) == [] and alice.text == bob.text
+
+    def test_resumed_merges_converge_with_legacy_and_oracle(self):
+        for seed in range(8):
+            rng = random.Random(0xE61 + seed)
+            docs = {
+                True: Document("inc", incremental=True),
+                False: Document("leg", incremental=False),
+            }
+            peers = {
+                True: Document("peer-inc", incremental=True),
+                False: Document("peer-leg", incremental=False),
+            }
+            for mode in (True, False):
+                doc, peer = docs[mode], peers[mode]
+                rng_local = random.Random(rng.randint(0, 1 << 30))
+                doc.insert(0, "seed ")
+                peer.merge(doc)
+                for _ in range(30):
+                    roll = rng_local.random()
+                    target = doc if rng_local.random() < 0.5 else peer
+                    if roll < 0.6 or not target.text:
+                        pos = rng_local.randint(0, len(target.text))
+                        target.insert(pos, rng_local.choice(["ab ", "c", "defg "]))
+                    elif roll < 0.8 and target.text:
+                        pos = rng_local.randrange(len(target.text))
+                        target.delete(pos, min(2, len(target.text) - pos))
+                    else:
+                        doc.merge(peer) if rng_local.random() < 0.5 else peer.merge(doc)
+                doc.merge(peer)
+                peer.merge(doc)
+                assert doc.text == peer.text == oracle_text(doc)
+
+    def test_live_session_mostly_fast_paths(self):
+        """The steady-state claim on a realistic live session: the engine
+        takes the fast path for the bulk of deliveries, never rebuilds, and
+        ends with no resident state once the session quiesces."""
+        sim = live_session(["a", "b", "c"], rounds=50, seed=7)
+        texts = {r.text for r in sim.replicas.values()}
+        assert len(texts) == 1
+        for replica in sim.replicas.values():
+            stats = replica.document.merge_stats
+            assert stats.walkers_rebuilt == 0
+            assert stats.cut_scan_events == 0
+            assert stats.merges > 0
+            # Most merges are sequential deliveries.
+            assert stats.fast_path_merges >= stats.merges * 0.5
+            assert oracle_text(replica.document) == replica.text
+
+
+# ----------------------------------------------------------------------
+# Sender-side run coalescing (oplog-level)
+# ----------------------------------------------------------------------
+class TestSenderSideCoalescing:
+    def test_keystrokes_extend_the_frontier_run(self):
+        doc = Document("alice")
+        for ch in "hello":
+            doc.insert(len(doc.text), ch)
+        assert len(doc.oplog) == 1
+        assert doc.oplog.graph[0].op.content == "hello"
+        # Holding Delete: same-index deletes extend the delete run.
+        for _ in range(3):
+            doc.delete(0, 1)
+        assert len(doc.oplog) == 2
+        assert doc.oplog.graph[1].op.length == 3
+        assert doc.text == "lo"
+
+    def test_non_continuing_edits_break_the_run(self):
+        doc = Document("alice")
+        doc.insert(0, "ab")
+        doc.insert(1, "x")  # mid-run insert: not a continuation
+        assert len(doc.oplog) == 2
+        doc.insert(2, "y")  # continues the *new* frontier run
+        assert len(doc.oplog) == 2
+
+    def test_remote_event_breaks_the_run(self):
+        alice, bob = Document("alice"), Document("bob")
+        alice.insert(0, "ab")
+        bob.merge(alice)
+        bob.insert(2, "cd")
+        alice.insert(2, "ef")  # concurrent with bob's edit
+        alice.merge(bob)
+        # Frontier is no longer alice's own run: next edit is a new event.
+        before = len(alice.oplog)
+        alice.insert(0, "z")
+        assert len(alice.oplog) == before + 1
+        bob.merge(alice)
+        assert alice.text == bob.text == oracle_text(alice)
+
+    def test_export_since_seq_ships_only_the_extension_suffix(self):
+        alice = Document("alice")
+        alice.insert(0, "abc")
+        bob = Document("bob")
+        bob.apply_remote_events(alice.oplog.export_events())
+        assert bob.text == "abc"
+        mark = alice.oplog.graph.next_seq_for("alice")
+        alice.insert(3, "def")  # extends the run in place
+        delta = alice.oplog.export_since_seq("alice", mark)
+        assert len(delta) == 1
+        assert delta[0].id == EventId("alice", 3)
+        assert delta[0].parents == (EventId("alice", 2),)
+        assert delta[0].op.content == "def"
+        bob.apply_remote_events(delta)
+        assert bob.text == "abcdef"
+        # And the classic full-sync path agrees with the carved copy.
+        carol = Document("carol")
+        carol.merge(alice)
+        assert carol.text == "abcdef"
+
+    def test_peer_with_prefix_gets_suffix_via_events_since(self):
+        alice = Document("alice")
+        alice.insert(0, "abc")
+        bob = Document("bob")
+        bob.merge(alice)
+        remote = bob.remote_version()
+        alice.insert(3, "defg")  # in-place extension
+        missing = alice.events_since(remote)
+        assert sum(e.op.length for e in missing) == 4
+        bob.apply_remote_events(missing)
+        assert bob.text == alice.text == "abcdefg"

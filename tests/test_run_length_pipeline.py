@@ -101,7 +101,7 @@ class TestRunCharEquivalence:
 class TestRunComplexity:
     def test_sequential_run_trace_creates_o_runs_events_and_records(self):
         """A run-encoded sequential trace: O(runs) events, O(runs) peak records."""
-        doc = Document("alice")
+        doc = Document("alice", coalesce_local_runs=False)
         runs = 0
         for i in range(50):
             doc.insert(len(doc.text), f"sentence number {i}. ")
@@ -113,6 +113,18 @@ class TestRunComplexity:
         chars = graph.num_chars
         assert len(graph) == runs
         assert chars > 10 * runs  # the trace really is run-dominated
+
+        # With sender-side coalescing (the default) the same session shrinks
+        # further: the 50 continuing inserts fold into one run event and the
+        # 10 same-index deletes into another — O(runs) *at the source*.
+        coalesced = Document("alice")
+        for i in range(50):
+            coalesced.insert(len(coalesced.text), f"sentence number {i}. ")
+        for _ in range(10):
+            coalesced.delete(0, 8)
+        assert len(coalesced.oplog.graph) == 2
+        assert coalesced.oplog.graph.num_chars == chars
+        assert coalesced.text == doc.text
 
         # Even with the state-clearing optimisation disabled (so nothing is
         # ever thrown away), the internal state holds O(runs) span records,
@@ -210,6 +222,31 @@ class TestPlaceholderRunCarving:
         record = state.record_for(EventId("a", 0))
         assert record.ever_deleted and record.length == 6
         assert record.ph_base == 5
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_adjacent_carves_by_separate_deletes_re_merge(self, backend):
+        """Carved runs are keyed by their original placeholder offset, so two
+        deletes carving adjacent spans coalesce into one record — with
+        counter-allocated synthetic ids they never could (the PR 2 leftover)."""
+        state = make_state(backend, placeholder=20)
+        state.apply_delete(EventId("a", 0), 5, 3)  # carves ph 5..7
+        assert state.record_count() == 3  # left ph + carve + right ph
+        # A second delete at the same prepare index eats the next 3 chars
+        # (ph 8..10): its carve is id- and ph-contiguous with the first.
+        state.apply_delete(EventId("a", 3), 5, 3)
+        assert state.spans_merged >= 1
+        assert state.record_count() == 3  # still left ph + one carve + right ph
+        record = state.record_for(EventId("a", 0))
+        assert record.length == 6 and record.ph_base == 5
+        # Retreating one of the deletes splits the merged carve back apart
+        # losslessly, and re-advancing re-merges it.
+        state.retreat(EventId("a", 3), False, 3)
+        assert state.record_for(EventId("a", 3)).length == 3
+        assert state.prepare_length() == 17
+        state.advance(EventId("a", 3), False, 3)
+        assert state.record_for(EventId("a", 0)).length == 6
+        assert state.prepare_length() == 14
+        assert state.effect_length() == 14
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_delete_run_spanning_placeholder_and_record_boundary(self, backend):
@@ -442,6 +479,38 @@ class TestSpanReMerging:
         assert plain.spans_merged == 0
         assert plain.final_records == plain.peak_records
         assert merged.final_records < plain.final_records
+
+        # Same session as a *windowed* replay from the base run (§3.6), so
+        # the branch deletes carve the placeholder.  Carved runs are keyed by
+        # their original placeholder offset, so adjacent carves — even ones
+        # made by different delete events across the two branches — re-merge,
+        # and the final span count collapses; the split-only ablation keeps
+        # every carve fragment forever.
+        window = y_events + z_events
+        results = {}
+        for merging in (True, False):
+            walker = EgWalker(
+                graph,
+                backend=backend,
+                enable_clearing=False,
+                enable_span_merging=merging,
+            )
+            results[merging] = walker.transform(
+                window,
+                base_version=(run.index,),
+                base_doc_length=40,
+                order=window,
+            )
+        assert [t.ops for t in results[True].transformed] == [
+            t.ops for t in results[False].transformed
+        ]
+        carved_merged = results[True].stats
+        carved_plain = results[False].stats
+        assert carved_merged.spans_merged > 0
+        assert carved_merged.final_records < carved_plain.final_records
+        # The sweep's 36 deleted characters end as a handful of spans, not
+        # one fragment per carve boundary.
+        assert carved_merged.final_records <= carved_plain.final_records // 2
 
     def test_walker_replay_of_differently_carved_graphs_matches(self):
         """Replaying a graph and a re-carved copy of it yields the same text
