@@ -44,10 +44,12 @@ def main() -> None:
     print(f"transformed op applied at user2: {ops_for_user2}")
     assert user1.text == user2.text == "Hello!"
 
-    # The whole editing history is retained, so any past version can be shown.
+    # The whole editing history is retained, so any past version can be
+    # shown.  Versions are stable, id-based handles (repro.history.Version):
+    # they keep meaning the same text no matter what is edited later.
     print("\ndocument history at user1:")
-    for version in user1.history_versions():
-        print(f"  version {version}: {user1.text_at(version)!r}")
+    for version in user1.versions():
+        print(f"  {version}: {user1.text_at(version)!r}")
 
     # The history can be persisted with the compact columnar format of §3.8.
     from repro.storage import EncodeOptions, encode_event_graph

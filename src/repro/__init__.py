@@ -38,10 +38,10 @@ from .core import (
     OpLog,
     RemoteEvent,
     ReplayResult,
-    Version,
     delete_op,
     insert_op,
 )
+from .history import ROOT, History, Version, apply_ops
 from .rope import GapBuffer, Rope
 
 __version__ = "1.0.0"
@@ -53,13 +53,16 @@ __all__ = [
     "EventGraph",
     "EventId",
     "GapBuffer",
+    "History",
     "Operation",
     "OpKind",
     "OpLog",
     "RemoteEvent",
     "ReplayResult",
+    "ROOT",
     "Rope",
     "Version",
+    "apply_ops",
     "delete_op",
     "insert_op",
     "__version__",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..core.walker import EgWalker, WalkerStats
+from ..history.version import Version
 from ..crdt.automerge_like import AutomergeLikeDocument
 from ..crdt.ref_crdt import RefCRDTDocument
 from ..crdt.yjs_like import YjsLikeDocument
@@ -127,7 +128,7 @@ class EgWalkerAdapter(AlgorithmAdapter):
 
     def save_snapshot_only(self, outcome: MergeOutcome, trace: Trace) -> bytes:
         """Just the cached text (what the steady-state load actually reads)."""
-        version = trace.graph.ids_from_version(trace.graph.frontier)
+        version = Version.frontier(trace.graph)
         return encode_snapshot(Snapshot(text=outcome.text, version=version))
 
     def load_snapshot(self, data: bytes) -> str:

@@ -168,8 +168,31 @@ class CausalGraph:
         return tuple(sorted(kept))
 
     def merge_versions(self, a: Version, b: Version) -> Version:
-        """The version representing the union of two sets of events."""
+        """The version representing the union of two sets of events.
+
+        This is the *join* (least upper bound) of the causal partial order:
+        ``Events(result) = Events(a) ∪ Events(b)``.  Cost is the frontier
+        reduction over the combined heads (cheap: versions are short).
+        """
         return self.frontier_of(set(a) | set(b))
+
+    def meet_versions(self, a: Version, b: Version) -> Version:
+        """The *meet* (greatest lower bound): the most recent common ancestor.
+
+        ``Events(result) = Events(a) ∩ Events(b)``.  Because the intersection
+        of two transitively closed sets is transitively closed, its frontier
+        is exactly the members with no child inside the set, which a single
+        pass finds — O(n) total (both ancestor sets are materialised).
+        """
+        shared = self.ancestors(a) & self.ancestors(b)
+        graph = self._graph
+        return tuple(
+            sorted(
+                idx
+                for idx in shared
+                if not any(child in shared for child in graph.children_of(idx))
+            )
+        )
 
     def versions_equal(self, a: Version, b: Version) -> bool:
         return tuple(sorted(a)) == tuple(sorted(b))

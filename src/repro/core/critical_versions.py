@@ -232,7 +232,8 @@ class CriticalCutTracker:
 
         This is the sequential fast-path test: when it holds for the position
         just before a batch of new events, every new event's parent version
-        and own version are critical, so the events apply verbatim.
+        and own version are critical, so the events apply verbatim.  O(1)
+        (two list lookups).
         """
         n = len(self.graph)
         count = n - position
@@ -242,6 +243,25 @@ class CriticalCutTracker:
             return False
         tail = self._cuts[-count:]
         return tail[0] == position and tail[-1] == n - 1
+
+    def critical_run_end(self, position: int) -> int:
+        """The end of the consecutive run of critical cuts starting at
+        ``position``: the largest ``m`` such that every position
+        ``position .. m`` is a cut, or ``position - 1`` if ``position``
+        itself is not one.
+
+        This is the *prefix* variant of :meth:`all_cuts_from`, used by the
+        merge engine to peel the sequential prefix off a mixed batch (batched
+        delivery can hand it sequential events followed by a concurrent
+        tail): events up to ``m`` apply verbatim, only the tail needs the
+        walker.  O(log cuts + run length).
+        """
+        idx = bisect.bisect_left(self._cuts, position)
+        end = position - 1
+        while idx < len(self._cuts) and self._cuts[idx] == end + 1:
+            end += 1
+            idx += 1
+        return end
 
     def rebuild(self) -> None:
         """Recompute from scratch (O(n); only used when attaching late)."""

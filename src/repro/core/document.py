@@ -17,18 +17,31 @@ Design points that mirror the paper:
 * The full event graph is retained, so any historical version can be
   reconstructed (:meth:`Document.text_at`) and traces can be saved to disk
   with :mod:`repro.storage`.
+
+Versions are **id-based** throughout the public API: :meth:`Document.version`
+returns a frozen :class:`repro.history.Version` (a frontier of character
+ids), which is the stable handle — it survives sender-side run coalescing
+extending the frontier run in place, interop splits, storage round trips and
+transfer to other replicas.  Local-index tuples still exist internally
+(:attr:`Document.local_version`) but silently go stale under in-place run
+extension; the historical index-based entry points are kept as thin
+deprecated shims.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import warnings
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..rope import Rope
-from .event_graph import Version
+from .event_graph import Version as LocalVersion
 from .ids import EventId, Operation
 from .merge_engine import MergeEngine, MergeEngineStats
 from .oplog import OpLog, RemoteEvent
 from .walker import EgWalker
+
+if TYPE_CHECKING:  # pragma: no cover - resolved lazily to avoid an import cycle
+    from ..history import History, Version
 
 __all__ = ["Document"]
 
@@ -73,6 +86,13 @@ class Document:
         self.engine = MergeEngine(
             self.oplog, self.rope, self._walker_options, incremental=incremental
         )
+        # Imported lazily: repro.history depends on the core modules above.
+        from ..history import History
+
+        self.history: History = History(self.oplog, self.engine)
+        """Id-based history browsing: version algebra, ``text_at`` / ``diff``
+        / ``checkout`` (see :class:`repro.history.History`).  The methods
+        below delegate here."""
 
     # ------------------------------------------------------------------
     # Read access
@@ -85,11 +105,35 @@ class Document:
     def __len__(self) -> int:
         return len(self.rope)
 
+    def version(self) -> "Version":
+        """The current version as a stable, id-based handle.
+
+        The returned :class:`repro.history.Version` can be saved, sent to a
+        peer, persisted (``repro.storage.encode_version``) and resolved later
+        — it stays exact across further edits, in-place run extension and
+        re-carved interop syncs.  O(frontier heads).
+        """
+        return self.history.version()
+
     @property
-    def version(self) -> Version:
-        return self.oplog.version
+    def local_version(self) -> LocalVersion:
+        """The frontier as *local event indices* (internal representation).
+
+        Only meaningful inside this replica and only until the graph mutates:
+        in-place run extension makes an index tuple cover more characters,
+        interop splits shift indices.  Use :meth:`version` for anything that
+        outlives the current call stack.
+        """
+        return self.oplog.local_version
 
     def remote_version(self) -> tuple[EventId, ...]:
+        """Deprecated: use :meth:`version` (its ``.ids`` are these ids)."""
+        warnings.warn(
+            "Document.remote_version() is deprecated; use Document.version() "
+            "(a repro.history.Version; its .ids field carries the event ids)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.oplog.remote_version()
 
     # ------------------------------------------------------------------
@@ -132,42 +176,95 @@ class Document:
         added = self.oplog.ingest_events(events)
         return self._integrate_new_events(added)
 
-    def events_since(self, remote_version: Sequence[EventId]) -> list[RemoteEvent]:
-        """Events a peer at ``remote_version`` is missing (for replication)."""
-        return self.oplog.events_since(remote_version)
+    def events_since(
+        self, version: "Version | Sequence[EventId]"
+    ) -> list[RemoteEvent]:
+        """Events a peer at ``version`` is missing (for replication).
 
-    # ------------------------------------------------------------------
-    # History
-    # ------------------------------------------------------------------
-    def text_at(self, version: Version) -> str:
-        """Reconstruct the document text at an arbitrary historical version.
-
-        ``version`` is a tuple of *current* local event indices.  With
-        sender-side run coalescing enabled, an index names the frontier run
-        *as it is now* — a snapshot that must survive later local edits
-        should be taken with :meth:`remote_version` and resolved through
-        :meth:`text_at_remote` instead (character ids are stable; run
-        boundaries are not).
+        Accepts a :class:`repro.history.Version` handle (the id-based
+        currency of the public API) or a raw sequence of :class:`EventId`
+        (the wire representation).
         """
-        walker = self._make_walker()
-        return walker.text_at_version(version)
+        return self.oplog.events_since(version)
+
+    # ------------------------------------------------------------------
+    # History (id-based versions; see repro.history)
+    # ------------------------------------------------------------------
+    def text_at(self, version: "Version | Sequence[int]") -> str:
+        """Reconstruct the document text at a historical version.
+
+        ``version`` is a saved :class:`repro.history.Version` handle.  The
+        reconstruction resumes the merge engine's walker machinery: browsing
+        forward from the last reconstructed version replays only the events
+        between the two (from the nearest critical version, §3.6), a cold
+        lookup replays ``Events(version)`` once.  The result is exact for
+        arbitrary saved handles, no matter how the graph was extended, split
+        or re-carved since the handle was taken.
+
+        Passing a tuple of local event indices (the pre-id-based API) still
+        works but is deprecated: index snapshots silently go stale when the
+        frontier run is extended in place.
+        """
+        from ..history import Version
+
+        if not isinstance(version, Version):
+            warnings.warn(
+                "Document.text_at with local-index tuples is deprecated; hold "
+                "a Document.version() handle (repro.history.Version) instead "
+                "— index snapshots go stale when runs extend in place",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self._make_walker().text_at_version(tuple(version))
+        return self.history.text_at(version)
+
+    def diff(self, a: "Version", b: "Version") -> list[Operation]:
+        """The operations transforming ``text_at(a)`` into ``text_at(b)``.
+
+        Walker-computed in O(window + new events) when ``a`` is an ancestor
+        of ``b`` — O(new events) when ``a`` is a critical version — and a
+        character-level text diff otherwise.  See
+        :meth:`repro.history.History.diff`.
+        """
+        return self.history.diff(a, b)
+
+    def checkout(self, version: "Version", *, agent: str | None = None) -> "Document":
+        """Materialise a historical version as a fresh, editable replica.
+
+        See :meth:`repro.history.History.checkout`.
+        """
+        return self.history.checkout(version, agent=agent)
+
+    def versions(self) -> list["Version"]:
+        """One stable handle per run event, in local order (history browsing).
+
+        The handle for an event covers the document as its author saw it
+        right after typing it.  O(events).
+        """
+        return self.history.versions()
 
     def text_at_remote(self, remote_version: Sequence[EventId]) -> str:
-        """Reconstruct the text at an id-based version snapshot.
+        """Deprecated: wrap the ids in a :class:`repro.history.Version` and
+        call :meth:`text_at`."""
+        from ..history import Version
 
-        Each id names the last character the snapshot covered.  If a run was
-        extended (or carved differently) since the snapshot was taken, the
-        stored run is split at the boundary first — a semantic no-op — so the
-        reconstruction covers exactly the snapshotted characters.
-        """
-        graph = self.oplog.graph
-        # Resolve to Event objects first: each dependency_index call may split
-        # a stored run, shifting every later index (Event.index stays live).
-        events = [graph[graph.dependency_index(eid)] for eid in remote_version]
-        return self.text_at(tuple(sorted({e.index for e in events})))
+        warnings.warn(
+            "Document.text_at_remote is deprecated; use "
+            "Document.text_at(Version(ids)) — or save Document.version() "
+            "handles in the first place",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.history.text_at(Version(remote_version))
 
-    def history_versions(self) -> list[Version]:
-        """Every prefix version in local order (useful for history browsing)."""
+    def history_versions(self) -> list[LocalVersion]:
+        """Deprecated: use :meth:`versions` (stable id-based handles)."""
+        warnings.warn(
+            "Document.history_versions is deprecated; use Document.versions() "
+            "— its Version handles stay valid across in-place run extension",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return [tuple([idx]) for idx in range(len(self.oplog.graph))]
 
     # ------------------------------------------------------------------

@@ -118,6 +118,13 @@ class EventGraph:
         self._frontier: list[int] = []
         self._next_seq: dict[str, int] = {}
         self._num_chars = 0
+        #: ``_cum_inserts[i]`` = total characters inserted by events ``0..i``.
+        #: Kept in lockstep with the event list (O(1) per append/extension;
+        #: splits rebuild the affected suffix, which split_event shifts
+        #: anyway) so :meth:`inserted_chars_through` is O(1).  The history
+        #: subsystem uses it as a safe upper bound on the document length at
+        #: any version contained in a prefix, to size replay placeholders.
+        self._cum_inserts: list[int] = []
         #: Structural-change observers (see :meth:`add_listener`).  Listeners
         #: are how incremental consumers (the merge engine's critical-cut
         #: tracker) stay in sync without rescanning the graph.
@@ -176,10 +183,13 @@ class EventGraph:
         return self._num_chars
 
     def contains_id(self, event_id: EventId) -> bool:
+        """Does some stored run cover this character id?  O(log runs)."""
         return self._locate(event_id) is not None
 
     def locate(self, event_id: EventId) -> tuple[int, int]:
         """Resolve a character id to ``(event_index, offset)``.
+
+        O(log runs) via the per-agent range map (no per-character memory).
 
         Raises:
             KeyError: if no run in this graph covers the id.
@@ -191,6 +201,8 @@ class EventGraph:
 
     def index_of(self, event_id: EventId) -> int:
         """Local index of the event whose run covers the given id.
+
+        O(log runs).
 
         Raises:
             KeyError: if the id is not (yet) covered by this graph.
@@ -208,13 +220,16 @@ class EventGraph:
         return event.index, offset
 
     def id_of(self, index: int) -> EventId:
-        """Id of the first character of the event at ``index``."""
+        """Id of the first character of the event at ``index``.  O(1)."""
         return self._events[index].id
 
     def parents_of(self, index: int) -> Version:
+        """Local indices of the event's parents (sorted).  O(1)."""
         return self._events[index].parents
 
     def children_of(self, index: int) -> Sequence[int]:
+        """Local indices of the event's children, maintained incrementally as
+        events are appended or split.  O(1)."""
         return self._children[index]
 
     @property
@@ -223,8 +238,24 @@ class EventGraph:
         return tuple(sorted(self._frontier))
 
     def next_seq_for(self, agent: str) -> int:
-        """The next unused sequence number for ``agent`` in this graph."""
+        """The next unused sequence number for ``agent`` in this graph.
+
+        O(1).  Covers everything the graph has ever stored for the agent,
+        including runs later split or extended in place.
+        """
         return self._next_seq.get(agent, 0)
+
+    def inserted_chars_through(self, index: int) -> int:
+        """Total characters inserted by events ``0 .. index`` (inclusive).
+
+        O(1).  For any version ``V`` whose events all have indices
+        ``<= index`` this is a safe **upper bound** on the document length at
+        ``V`` (deletions only shrink it, and ``Events(V)`` is a subset of the
+        prefix), which is exactly what a partial replay needs to size its
+        placeholder (§3.6) — oversizing leaves unreferenced slack at the end
+        of the placeholder and is harmless.
+        """
+        return self._cum_inserts[index]
 
     # ------------------------------------------------------------------
     # Mutation
@@ -254,6 +285,15 @@ class EventGraph:
 
         Returns:
             The newly created :class:`Event`.
+
+        Complexity: O(parents + log runs) amortized — the children, frontier,
+        range-map and cumulative-insert indices all update in place, which is
+        what lets long-lived consumers (the merge engine, the cut tracker)
+        avoid ever rescanning the graph.
+
+        Raises:
+            ValueError: if any character of the run's id span is already
+                covered (duplicate), or a parent index is out of range.
         """
         agent_index = self._agent_index.get(event_id.agent)
         if self._locate(event_id) is not None or (
@@ -277,6 +317,8 @@ class EventGraph:
             agent_index = self._agent_index[event_id.agent] = RangeIndex(_event_length)
         agent_index.register(event_id.seq, event)
         self._num_chars += op.length
+        previous = self._cum_inserts[-1] if self._cum_inserts else 0
+        self._cum_inserts.append(previous + (op.length if op.is_insert else 0))
         for p in parent_indices:
             self._children[p].append(index)
         # Maintain the frontier incrementally: the new event replaces any of
@@ -324,6 +366,8 @@ class EventGraph:
                 raise ValueError("delete does not continue the run")
             event.op = delete_op(old.pos, old.length + op.length)
         self._num_chars += op.length
+        if op.is_insert:
+            self._cum_inserts[index] += op.length  # the sole frontier run is last
         self._next_seq[event.id.agent] = event.end_seq
         self._notify("event_extended", index, op.length)
         return event
@@ -385,6 +429,11 @@ class EventGraph:
             index + 1 if f == index else (f + 1 if f > index else f)
             for f in self._frontier
         ]
+        # Cumulative insert counts: the left half's running total drops by the
+        # right half's inserted chars; every later entry keeps its value (the
+        # totals are unchanged, only the positions shift by one).
+        right_inserts = right.op.length if right.op.is_insert else 0
+        self._cum_inserts.insert(index, self._cum_inserts[index] - right_inserts)
         # The id range map refines: the left entry now covers less (its
         # length is consulted live) and the right half gets its own entry.
         self._agent_index[event.id.agent].register(right.id.seq, right)

@@ -106,6 +106,20 @@ class MergeEngineStats:
     non_tail_batches: int = 0
     #: Work profile of the most recent merge.
     last_merge_events_touched: int = 0
+    #: History queries (``text_at`` / ``diff``) answered by a walker replay:
+    #: ``history_window_events`` were replayed silently (the ancestor window
+    #: between the chosen critical-cut base and the *from* version) and
+    #: ``history_new_events`` emitted operations.  A diff whose *from*
+    #: version is itself a critical version has an empty window — O(new
+    #: events) walker work, which ``last_history_events_touched`` proves.
+    history_replays: int = 0
+    history_window_events: int = 0
+    history_new_events: int = 0
+    last_history_events_touched: int = 0
+    #: History diffs with no replayable event set between the versions
+    #: (concurrent or backwards pairs): answered by a character-level text
+    #: diff instead of the walker.
+    history_text_diffs: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
@@ -136,7 +150,19 @@ class MergeEngine:
     The engine listens to the event graph (splits and in-place extensions can
     invalidate the resident state) and is handed each batch of newly ingested
     event indices via :meth:`integrate`, which it turns into transformed
-    operations applied to the rope.
+    operations applied to the rope.  It is also the walker backend of the
+    history subsystem (:meth:`history_ops` — ``text_at`` / ``diff`` replays
+    resumed from tracked critical cuts).
+
+    Args:
+        oplog: the replica's event log; the engine registers itself as a
+            graph listener when ``incremental`` is set.
+        rope: the document text the transformed operations apply to.
+        walker_options: :class:`EgWalker` configuration (backend, clearing,
+            span merging, sort strategy) — fixed for the engine's lifetime.
+        incremental: ``True`` (default) uses the persistent machinery
+            described above; ``False`` selects the legacy rebuild-everything
+            merge, kept as the ablation baseline.
     """
 
     def __init__(
@@ -166,7 +192,14 @@ class MergeEngine:
     # Graph listener hooks (checkpoint invalidation)
     # ------------------------------------------------------------------
     def event_split(self, index: int) -> None:
-        """An interop re-carving split the run at ``index`` in place."""
+        """An interop re-carving split the run at ``index`` in place.
+
+        Called by the event graph (listener hook).  Drops the resident
+        checkpoint if the split lands inside the window it covers (its
+        per-event bookkeeping is keyed by the pre-split run), or re-indexes
+        the checkpoint's tracked positions if the split lands below its base.
+        O(checkpoint prepare-version heads).
+        """
         ckpt = self._ckpt
         if ckpt is None:
             return
@@ -189,7 +222,12 @@ class MergeEngine:
         # not cover; nothing tracked by the checkpoint shifts.
 
     def event_extended(self, index: int, added_length: int) -> None:
-        """The frontier run grew in place (sender-side coalescing)."""
+        """The frontier run grew in place (sender-side coalescing).
+
+        Listener hook; drops the resident checkpoint when the extended run is
+        one the checkpoint's state covers (the state's span bookkeeping for
+        that run no longer matches the event).  O(1).
+        """
         ckpt = self._ckpt
         if ckpt is not None and index < ckpt.through:
             self._drop_checkpoint()
@@ -198,7 +236,24 @@ class MergeEngine:
     # The merge entry point
     # ------------------------------------------------------------------
     def integrate(self, added: list[int]) -> list[Operation]:
-        """Fold newly ingested events into the text; return the applied ops."""
+        """Fold newly ingested events into the text.
+
+        Args:
+            added: local indices of the events the oplog just ingested (a
+                contiguous tail of the local order; interop splits land below
+                it by construction).
+
+        Returns:
+            The transformed operations that were applied to the rope, in
+            order — the incremental update of §2.4 (coalesced into maximal
+            runs on the incremental engine; per-event on the legacy path).
+
+        Complexity: O(new events) for a sequential batch or while walker
+        state is resident; O(window + new) on the first merge after a
+        critical cut; the legacy ``incremental=False`` path adds Ω(history)
+        bookkeeping per merge (the measured ablation).  See the class
+        docstring's table.
+        """
         if not added:
             return []
         stats = self.stats
@@ -228,19 +283,31 @@ class MergeEngine:
         n = len(graph)
         new_events = list(range(first_new, n))
 
-        # Sequential fast path: every new event's parent version *and* own
-        # version are critical, so the transformed operations are the
-        # originals (§3.5) — no walker, no replay order, no state.
+        # Sequential fast path: every new event whose parent version *and*
+        # own version are critical applies verbatim (§3.5) — no walker, no
+        # replay order, no state.  With batched delivery a single batch can
+        # hold a sequential prefix followed by a concurrent tail, so the
+        # critical run is peeled off the front and only the tail (if any)
+        # goes through the replay machinery below.
         parent_pos = first_new - 1 if first_new > 0 else 0
-        if tracker.all_cuts_from(parent_pos):
-            self._drop_checkpoint()  # a critical version formed at the tail
-            ops = coalesce_ops(graph[idx].op for idx in new_events)
+        run_end = tracker.critical_run_end(parent_pos)
+        if run_end >= first_new:
+            prefix = list(range(first_new, run_end + 1))
+            self._drop_checkpoint()  # a critical version formed at run_end
+            ops = coalesce_ops(graph[idx].op for idx in prefix)
             self._apply_to_rope(ops)
-            stats.fast_path_merges += 1
-            stats.fast_path_events += len(new_events)
-            stats.fast_path_chars += sum(graph[idx].op.length for idx in new_events)
-            stats.last_merge_events_touched = len(new_events)
-            return ops
+            stats.fast_path_events += len(prefix)
+            stats.fast_path_chars += sum(graph[idx].op.length for idx in prefix)
+            if run_end == n - 1:
+                # The whole batch was sequential.
+                stats.fast_path_merges += 1
+                stats.last_merge_events_touched = len(prefix)
+                return ops
+            # Concurrent tail: integrate it from the critical version the
+            # prefix just formed (base = run_end, empty window).
+            rest = self._integrate_incremental(run_end + 1)
+            stats.last_merge_events_touched += len(prefix)
+            return ops + rest
 
         # Replay base: the latest critical cut before the new events — a
         # binary search over the tracked cuts, not a graph scan.
@@ -323,6 +390,77 @@ class MergeEngine:
         return ops
 
     # ------------------------------------------------------------------
+    # History replays (text_at / diff, resumed from critical cuts)
+    # ------------------------------------------------------------------
+    def history_ops(self, from_version: Version, to_version: Version) -> list[Operation]:
+        """Operations transforming the text at ``from_version`` into the text
+        at ``to_version`` — the walker backend of the history subsystem.
+
+        Args:
+            from_version: local-index version; must be an ancestor of (or
+                equal to) ``to_version``.  The empty tuple means the root
+                (so the result builds the text at ``to_version`` from ``""``).
+            to_version: local-index version to reach.
+
+        The replay base is the latest critical cut contained in
+        ``from_version`` (a binary-search-backed lookup on the incremental
+        engine's :class:`CriticalCutTracker`; the root for the legacy
+        ``incremental=False`` engine — its ablation role).  The window
+        ``Events(from) - Events(base)`` is replayed silently to rebuild the
+        walker state the new events need, then ``Events(to) - Events(from)``
+        replays with operations emitted — the §3.6 merge procedure pointed at
+        history instead of at the live frontier.  Cost: O(window + new)
+        walker work; when ``from_version`` is itself a critical version the
+        window is empty and the cost is O(new events) exactly
+        (``stats.last_history_events_touched`` records it).
+
+        Returns:
+            The transformed operations, coalesced into maximal runs; applying
+            them in order to the text at ``from_version`` yields the text at
+            ``to_version``.
+        """
+        graph = self.oplog.graph
+        stats = self.stats
+        causal = self.walker.causal
+        cut = self._history_cut(from_version)
+        base_version: Version = () if cut is None else (cut,)
+        base_length = 0 if cut is None else graph.inserted_chars_through(cut)
+        _, window = causal.diff(base_version, from_version)
+        _, new_events = causal.diff(from_version, to_version)
+        order = sort_branch_aware(graph, window) + sort_branch_aware(graph, new_events)
+        result = self.walker.transform(
+            window + new_events,
+            base_version=base_version,
+            base_doc_length=base_length,
+            order=order,
+            emit_only=set(new_events),
+        )
+        stats.history_replays += 1
+        stats.history_window_events += len(window)
+        stats.history_new_events += len(new_events)
+        stats.last_history_events_touched = len(window) + len(new_events)
+        return coalesce_ops(op for entry in result.transformed for op in entry.ops)
+
+    def _history_cut(self, version: Version) -> int | None:
+        """The latest critical cut contained in ``version`` (replay base).
+
+        A critical cut ``c`` qualifies iff ``c ∈ Events(version)``: then
+        ``Events(c)`` is exactly the local-order prefix through ``c``
+        (criticality), every event of ``Events(version) - Events(c)`` sits
+        after ``c`` in local order with no parent before ``c``, and the
+        partial replay from ``(c,)`` is closed.  Criticality also makes the
+        lookup trivial: any cut ``c <= max(version)`` is an ancestor of
+        ``max(version)`` (every event after a cut depends on it), hence
+        contained — so the answer is a single binary search over the tracked
+        cuts, O(log cuts).  ``None`` (replay from the root) when no cut
+        qualifies or on the legacy engine (``incremental=False``), which
+        keeps full-history replays as its ablation behaviour.
+        """
+        if not version or self.tracker is None:
+            return None
+        return self.tracker.latest_cut_before(version[-1] + 1)
+
+    # ------------------------------------------------------------------
     # Legacy rebuild path (the ablation baseline)
     # ------------------------------------------------------------------
     def _integrate_legacy(self, added: list[int]) -> list[Operation]:
@@ -390,6 +528,11 @@ class MergeEngine:
         if self._ckpt is not None:
             self._ckpt = None
             self.stats.checkpoints_dropped += 1
+
+    @property
+    def walker_options(self) -> dict:
+        """The walker configuration this engine was built with (a copy)."""
+        return dict(self._walker_options)
 
     @property
     def has_resident_state(self) -> bool:

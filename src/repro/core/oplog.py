@@ -234,15 +234,43 @@ class OpLog:
     # Versions
     # ------------------------------------------------------------------
     @property
+    def local_version(self) -> Version:
+        """The current frontier as *local event indices*.
+
+        Internal representation: only meaningful inside this replica, and
+        only until the graph mutates (in-place run extension makes an index
+        cover more characters; interop splits shift indices).  Id-based
+        handles (:meth:`remote_version`, or :meth:`Document.version
+        <repro.core.document.Document.version>` one layer up) are the stable
+        currency.  O(1).
+        """
+        return self.graph.frontier
+
+    @property
     def version(self) -> Version:
-        """The current frontier of the event graph."""
+        """Deprecated alias of :attr:`local_version` (index-based)."""
+        import warnings
+
+        warnings.warn(
+            "OpLog.version is deprecated; use OpLog.local_version (local "
+            "indices) or OpLog.remote_version() / Document.version() (stable "
+            "id-based handles)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.graph.frontier
 
     def __len__(self) -> int:
         return len(self.graph)
 
     def remote_version(self) -> tuple[EventId, ...]:
-        """The frontier expressed as event ids (safe to send to other replicas)."""
+        """The frontier expressed as event ids (safe to send to other replicas).
+
+        Each id names the last character of a frontier run
+        (:meth:`EventGraph.dependency_id`), so the snapshot stays exact if
+        the run is later extended in place.  O(frontier heads), plus any
+        boundary splits the id resolution performs on the receiving side.
+        """
         return self.graph.ids_from_version(self.graph.frontier)
 
     # ------------------------------------------------------------------
@@ -303,13 +331,18 @@ class OpLog:
     def events_since(self, remote_version: Sequence[EventId]) -> list[RemoteEvent]:
         """Events the remote replica (at ``remote_version``) is missing.
 
-        Event ids the local graph does not know are ignored: the remote is
-        simply ahead of us on those branches and needs nothing for them.  A
-        version id that lands mid-run (the remote carved, or saw, only a
-        prefix of one of our runs) splits the stored run at the boundary so
-        the unseen suffix is exported and the seen prefix is not re-sent.
+        Accepts a raw id sequence (the wire representation) or a
+        :class:`repro.history.Version` handle (anything with an ``ids``
+        attribute).  Event ids the local graph does not know are ignored: the
+        remote is simply ahead of us on those branches and needs nothing for
+        them.  A version id that lands mid-run (the remote carved, or saw,
+        only a prefix of one of our runs) splits the stored run at the
+        boundary so the unseen suffix is exported and the seen prefix is not
+        re-sent.  Cost: the causal diff between the two frontiers plus the
+        export of the missing events.
         """
-        known = [eid for eid in remote_version if self.graph.contains_id(eid)]
+        ids = getattr(remote_version, "ids", remote_version)
+        known = [eid for eid in ids if self.graph.contains_id(eid)]
         # Resolve to Event objects first: each dependency_index call may split
         # a stored run, shifting every later index (Event.index stays live).
         local_events = [self.graph[self.graph.dependency_index(eid)] for eid in known]

@@ -1,0 +1,20 @@
+"""Id-based versions and history browsing (the stable snapshot subsystem).
+
+Public surface:
+
+* :class:`Version` — a frozen frontier of character ids; the stable handle
+  for any point in a document's history (survives in-place run extension,
+  interop re-carving and storage round trips).
+* :data:`ROOT` — the empty version (the document before any event).
+* :class:`History` — version algebra (compare/meet/join) and time travel
+  (``text_at`` / ``diff`` / ``checkout``) over a replica's event graph,
+  implemented by resuming the merge engine's walker machinery.
+* :func:`apply_ops` — apply a diff's operations to a text.
+
+See ``docs/architecture.md`` ("History browsing") for worked examples.
+"""
+
+from .version import ROOT, Version
+from .history import History, apply_ops
+
+__all__ = ["History", "ROOT", "Version", "apply_ops"]

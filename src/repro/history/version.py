@@ -1,0 +1,106 @@
+"""The id-based :class:`Version` value type — the stable history handle.
+
+A version names a point in a document's editing history: the set of events
+(and through them, characters) that the document state reflects.  Internally
+the algorithms address events by their *local index* in a replica's
+append-only event list, but local indices are private to one replica and —
+worse — silently go stale: sender-side run coalescing extends the frontier
+run **in place** (`EventGraph.extend_event`), so an index-tuple snapshot taken
+before the extension suddenly covers more characters than it did, and interop
+splits (`EventGraph.split_event`) shift every later index.
+
+:class:`Version` is the fix, and the one true handle applications should
+hold.  It is a frozen frontier of **character ids** (:class:`EventId`), one
+per branch head, each naming the *last* character the version covers on that
+branch — the same convention the replication protocol uses for parent
+references.  Character ids are globally unique and immutable, so a
+:class:`Version`:
+
+* survives in-place run extension (the saved id still names the old last
+  character; later characters have larger seqs and are simply not covered),
+* survives interop splits and re-carved syncs (ids are per-character; run
+  boundaries are a local encoding detail),
+* survives storage round trips and transfers between replicas (no local
+  indices are embedded), and
+* is hashable and comparable for *identity* (``==`` is set equality of ids;
+  the causal partial order lives in :class:`~repro.history.history.History`
+  / :class:`~repro.core.causal_graph.CausalGraph`, which need a graph).
+
+The empty version (:data:`ROOT`) denotes the document before any event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..core.ids import EventId
+
+__all__ = ["Version", "ROOT"]
+
+
+@dataclass(frozen=True, init=False)
+class Version:
+    """A frozen, id-based version (frontier) of a document's history.
+
+    Args:
+        ids: the frontier's character ids — any iterable of :class:`EventId`
+            or plain ``(agent, seq)`` pairs.  Each id names the **last**
+            character covered on its branch.  Duplicates are dropped and the
+            ids are stored sorted, so two versions built from the same id set
+            compare and hash equal regardless of input order.
+
+    Complexity: construction is O(k log k) for k frontier heads (k is 1 for
+    any sequential stretch of history); all accessors are O(1) or O(k).
+    """
+
+    ids: tuple[EventId, ...]
+
+    def __init__(self, ids: Iterable[EventId | tuple[str, int]] = ()) -> None:
+        normalized = tuple(sorted({EventId(agent, seq) for agent, seq in ids}))
+        object.__setattr__(self, "ids", normalized)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def frontier(cls, graph) -> "Version":
+        """The current version of an :class:`~repro.core.event_graph.EventGraph`.
+
+        Each frontier event is represented by the id of its last character
+        (its :meth:`~repro.core.event_graph.EventGraph.dependency_id`), which
+        is what keeps the handle stable if the run is later extended in
+        place.  O(k) for k frontier heads.
+        """
+        return cls(graph.ids_from_version(graph.frontier))
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[EventId]:
+        return iter(self.ids)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __bool__(self) -> bool:
+        """``False`` only for the root (empty) version."""
+        return bool(self.ids)
+
+    @property
+    def is_root(self) -> bool:
+        """Is this the empty version (the document before any event)?"""
+        return not self.ids
+
+    def as_tuples(self) -> tuple[tuple[str, int], ...]:
+        """The ids as plain ``(agent, seq)`` tuples (JSON-friendly)."""
+        return tuple((eid.agent, eid.seq) for eid in self.ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.ids:
+            return "Version(ROOT)"
+        return f"Version({', '.join(str(eid) for eid in self.ids)})"
+
+
+#: The empty version: the state of every document before any event.
+ROOT = Version()

@@ -17,6 +17,13 @@ different runs.  Known ids are therefore tracked per agent in a
 The buffer is transport-agnostic: the in-process network simulator, the relay
 server and the gossip topology in :mod:`repro.network.simulator` all push
 events through it.
+
+Deliveries can be **batched**: constructed with a ``deliver_batch`` callback,
+the buffer hands everything a top-level call makes deliverable — a whole
+network tick's messages plus any unblocking cascades — to the consumer in one
+causally ordered list.  A replica's merge engine integrates such a list as a
+single merge, so a relay hub fanning in one event per peer per tick pays one
+``integrate`` per batch instead of one per event.
 """
 
 from __future__ import annotations
@@ -40,13 +47,40 @@ class DeliveryStats:
     delivered: int = 0
     duplicates: int = 0
     buffered_high_water: int = 0
+    #: Delivery batches handed to ``deliver_batch`` (stays 0 with a per-event
+    #: ``deliver`` callback).  ``delivered / batches`` is the fan-in
+    #: amortisation a batching consumer (the merge engine) enjoys.
+    batches: int = 0
 
 
 class CausalBuffer:
-    """Re-orders incoming events so that parents are delivered before children."""
+    """Re-orders incoming events so that parents are delivered before children.
 
-    def __init__(self, deliver: Callable[[RemoteEvent], None]) -> None:
+    Args:
+        deliver: per-event delivery callback (the original interface).
+        deliver_batch: batch delivery callback.  When given it *replaces*
+            ``deliver``: every top-level call into the buffer
+            (:meth:`receive`, :meth:`receive_batch`,
+            :meth:`mark_known_spans`) hands **all** events it makes
+            deliverable — including whole unblocking cascades — to
+            ``deliver_batch`` in one causally ordered list.  A consumer that
+            pays per integration (the merge engine costs one merge per
+            batch) therefore pays once per network tick, not once per event:
+            the relay-hub fan-in amortisation.
+
+    Exactly one of the two callbacks must be provided.
+    """
+
+    def __init__(
+        self,
+        deliver: Callable[[RemoteEvent], None] | None = None,
+        *,
+        deliver_batch: Callable[[list[RemoteEvent]], None] | None = None,
+    ) -> None:
+        if (deliver is None) == (deliver_batch is None):
+            raise ValueError("provide exactly one of deliver / deliver_batch")
         self._deliver = deliver
+        self._deliver_batch = deliver_batch
         #: Per-agent coverage of character ids already delivered (or locally
         #: generated).  Span-based so that re-carved runs dedup correctly.
         self._known: dict[str, SpanSet] = {}
@@ -74,16 +108,17 @@ class CausalBuffer:
         events ingested out of band, e.g. a state-transfer sync).
 
         Buffered events that only waited on the marked spans become
-        deliverable and are flushed; returns how many got delivered.
+        deliverable and are flushed (as a single batch in batching mode);
+        returns how many got delivered.
         """
         ready: list[RemoteEvent] = []
         for start_id, length in spans:
             self._known_spans(start_id.agent).add(start_id.seq, length)
             ready.extend(self._collect_ready(start_id.agent, start_id.seq, length))
-        delivered = 0
+        batch: list[RemoteEvent] = []
         for event in ready:
-            delivered += self._deliver_and_cascade(event)
-        return delivered
+            batch.extend(self._collect_cascade(event))
+        return self._dispatch(batch)
 
     def _knows(self, event_id: EventId) -> bool:
         spans = self._known.get(event_id.agent)
@@ -99,15 +134,21 @@ class CausalBuffer:
         An event whose characters are all known is a duplicate regardless of
         how its sender carved the run; a partially known run is *not* — it is
         passed through and the event graph's split-on-ingest keeps only the
-        new characters.
+        new characters.  Everything the event makes deliverable (itself plus
+        any unblocked cascade) goes out as one batch in batching mode.
         """
+        return self._dispatch(self._receive_collect(event))
+
+    def _receive_collect(self, event: RemoteEvent) -> list[RemoteEvent]:
+        """The receive logic, returning deliverable events instead of
+        dispatching them (so :meth:`receive_batch` can flush once)."""
         self.stats.received += 1
         pending = self._pending.get(event.id)
         if self._covers(event) or (
             pending is not None and pending.op.length >= event.op.length
         ):
             self.stats.duplicates += 1
-            return 0
+            return []
         missing = [p for p in event.parents if not self._knows(p)]
         if missing:
             if pending is not None:
@@ -116,7 +157,7 @@ class CausalBuffer:
                 # keep the longer event; the existing waiter registrations
                 # still apply.
                 self._pending[event.id] = event
-                return 0
+                return []
             self._pending[event.id] = event
             for parent in missing:
                 waiters = self._waiting_on.setdefault(parent, [])
@@ -127,14 +168,22 @@ class CausalBuffer:
                 waiters.append(event.id)
             if len(self._pending) > self.stats.buffered_high_water:
                 self.stats.buffered_high_water = len(self._pending)
-            return 0
-        return self._deliver_and_cascade(event)
+            return []
+        return self._collect_cascade(event)
 
     def receive_batch(self, events: Iterable[RemoteEvent]) -> int:
-        delivered = 0
+        """Accept several events at once (e.g. everything a network tick
+        delivered); returns how many got delivered.
+
+        In batching mode everything the whole batch makes deliverable reaches
+        ``deliver_batch`` as **one** call — this is the per-tick amortisation
+        a relay hub's fan-in relies on (one merge-engine integration per
+        batch, not per event).
+        """
+        batch: list[RemoteEvent] = []
         for event in events:
-            delivered += self.receive(event)
-        return delivered
+            batch.extend(self._receive_collect(event))
+        return self._dispatch(batch)
 
     @property
     def pending_count(self) -> int:
@@ -165,19 +214,33 @@ class CausalBuffer:
                     ready.append(waiting)
         return ready
 
-    def _deliver_and_cascade(self, event: RemoteEvent) -> int:
-        """Deliver ``event`` and any buffered events it unblocks."""
-        delivered = 0
+    def _collect_cascade(self, event: RemoteEvent) -> list[RemoteEvent]:
+        """Mark ``event`` and everything it unblocks delivered; return them
+        in causal order (the dispatch to the consumer happens at the
+        top-level entry point, once per call)."""
+        out: list[RemoteEvent] = []
         queue = [event]
         while queue:
             current = queue.pop()
             if self._covers(current):
                 continue
-            self._deliver(current)
+            out.append(current)
             self._known_spans(current.id.agent).add(current.id.seq, current.op.length)
             self.stats.delivered += 1
-            delivered += 1
             queue.extend(
                 self._collect_ready(current.id.agent, current.id.seq, current.op.length)
             )
-        return delivered
+        return out
+
+    def _dispatch(self, events: list[RemoteEvent]) -> int:
+        """Hand delivered events to the consumer: one ``deliver_batch`` call
+        in batching mode, per-event ``deliver`` calls otherwise."""
+        if not events:
+            return 0
+        if self._deliver_batch is not None:
+            self.stats.batches += 1
+            self._deliver_batch(events)
+        else:
+            for event in events:
+                self._deliver(event)
+        return len(events)

@@ -99,6 +99,15 @@ class SimulatedReplica:
     def deliver(self, event: RemoteEvent) -> None:
         self.buffer.receive(event)
 
+    def deliver_batch(self, events: list[RemoteEvent]) -> None:
+        """Deliver every message one network tick produced for this replica.
+
+        The causal buffer hands whatever becomes deliverable to the document
+        as a single batch, so the merge engine pays one ``integrate`` per
+        tick — the relay-hub fan-in amortisation.
+        """
+        self.buffer.receive_batch(events)
+
     def sync_direct(self, events: Iterable[RemoteEvent]) -> int:
         """Ingest a batch of events outside the broadcast flow.
 
@@ -113,14 +122,19 @@ class SimulatedReplica:
 
 
 class CausalBufferAdapter:
-    """Glue between the network, the causal buffer and the document."""
+    """Glue between the network, the causal buffer and the document.
+
+    The buffer runs in batching mode: everything one top-level call makes
+    deliverable (a tick's worth of messages, unblocking cascades, flushes
+    after an out-of-band sync) reaches the document as a **single**
+    ``apply_remote_events`` batch — one merge-engine integration per batch.
+    """
 
     def __init__(self, replica: SimulatedReplica) -> None:
         from .causal_broadcast import CausalBuffer
 
         self.replica = replica
-        self.buffer = CausalBuffer(self._apply)
-        self._batch: list[RemoteEvent] = []
+        self.buffer = CausalBuffer(deliver_batch=self._apply_batch)
 
     def mark_local(self, events: Iterable[RemoteEvent]) -> None:
         self.buffer.mark_known_spans((e.id, e.op.length) for e in events)
@@ -131,9 +145,9 @@ class CausalBufferAdapter:
     def receive_batch(self, events: Iterable[RemoteEvent]) -> int:
         return self.buffer.receive_batch(events)
 
-    def _apply(self, event: RemoteEvent) -> None:
-        self.replica.document.apply_remote_events([event])
-        self.replica.received_events += 1
+    def _apply_batch(self, events: list[RemoteEvent]) -> None:
+        self.replica.document.apply_remote_events(events)
+        self.replica.received_events += len(events)
 
     @property
     def pending(self) -> int:
@@ -186,7 +200,7 @@ class NetworkSimulator:
         for x, y in ((a, b), (b, a)):
             sender = self.replicas[x]
             recipient = self.replicas[y]
-            missing = sender.document.events_since(recipient.document.remote_version())
+            missing = sender.document.events_since(recipient.document.version())
             for event in missing:
                 self._enqueue(x, y, event)
 
@@ -232,9 +246,21 @@ class NetworkSimulator:
 
     # -- time -------------------------------------------------------------
     def advance(self, duration: float) -> int:
-        """Advance virtual time, delivering every message that comes due."""
+        """Advance virtual time, delivering every message that comes due.
+
+        Messages due within this tick are grouped **per recipient** and
+        handed over as one batch each (:meth:`SimulatedReplica.deliver_batch`),
+        so a replica that many peers — or a forwarding hub — send to in the
+        same window integrates the whole tick in one merge instead of one
+        merge per message.  Store-and-forward relaying still happens per
+        message at pop time (it only re-enqueues, never touches documents).
+        """
         deadline = self.now + duration
         delivered = 0
+        #: Per-recipient batches in arrival order (dict preserves insertion
+        #: order, and messages pop in deliver_at order, so each batch is
+        #: causally safe for the buffer).
+        batches: dict[str, list[RemoteEvent]] = {}
         while self._queue and self._queue[0].deliver_at <= deadline:
             message = heapq.heappop(self._queue)
             self.now = message.deliver_at
@@ -243,7 +269,7 @@ class NetworkSimulator:
                 # Reliable delivery: hold the message until the recipient is back.
                 self._held_for_offline[message.recipient].append(message)
                 continue
-            recipient.deliver(message.event)
+            batches.setdefault(message.recipient, []).append(message.event)
             self.messages_delivered += 1
             delivered += 1
             if recipient.forward:
@@ -252,6 +278,8 @@ class NetworkSimulator:
                 for (a, b) in list(self.links.keys()):
                     if a == message.recipient and b != message.sender:
                         self._enqueue(a, b, message.event)
+        for name, events in batches.items():
+            self.replicas[name].deliver_batch(events)
         self.now = deadline
         return delivered
 

@@ -2,7 +2,13 @@
 
 from .compression import compress, decompress
 from .encoder import DecodedFile, EncodeOptions, decode_event_graph, encode_event_graph
-from .snapshot import Snapshot, decode_snapshot, encode_snapshot
+from .snapshot import (
+    Snapshot,
+    decode_snapshot,
+    decode_version,
+    encode_snapshot,
+    encode_version,
+)
 from .varint import (
     ByteReader,
     ByteWriter,
@@ -24,8 +30,10 @@ __all__ = [
     "decode_snapshot",
     "decode_svarint",
     "decode_uvarint",
+    "decode_version",
     "encode_event_graph",
     "encode_snapshot",
     "encode_svarint",
     "encode_uvarint",
+    "encode_version",
 ]

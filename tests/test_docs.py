@@ -1,0 +1,72 @@
+"""The docs cannot rot: doctests in docs/ and runnable examples/.
+
+Two enforcement mechanisms, both part of tier 1 (and mirrored by the CI
+``docs`` job):
+
+* every ``>>>`` block in ``docs/architecture.md`` runs as a doctest, so the
+  worked examples in the architecture guide always match the current API;
+* every script in ``examples/`` runs end to end in a subprocess (they
+  ``assert`` their own claims internally), so the narrated walkthroughs the
+  README points at keep working.
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import subprocess
+import sys
+
+import pytest
+
+_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+_DOCS = os.path.join(_ROOT, "docs")
+_EXAMPLES = os.path.join(_ROOT, "examples")
+
+
+def _doc_files() -> list[str]:
+    return sorted(
+        name for name in os.listdir(_DOCS) if name.endswith(".md")
+    )
+
+
+def _example_scripts() -> list[str]:
+    return sorted(
+        name for name in os.listdir(_EXAMPLES) if name.endswith(".py")
+    )
+
+
+def test_docs_directory_has_content():
+    assert "architecture.md" in _doc_files()
+
+
+@pytest.mark.parametrize("name", _doc_files())
+def test_doc_doctests(name):
+    """Every ``>>>`` block in the markdown docs must pass as written."""
+    results = doctest.testfile(
+        os.path.join(_DOCS, name),
+        module_relative=False,
+        optionflags=doctest.ELLIPSIS,
+    )
+    assert results.attempted > 0, f"{name} contains no doctest examples"
+    assert results.failed == 0, f"{results.failed} doctest(s) failed in {name}"
+
+
+@pytest.mark.parametrize("name", _example_scripts())
+def test_example_runs(name):
+    """Each example script must run to completion (they assert internally)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        f"examples/{name} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"examples/{name} produced no output"

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.document import Document
 from repro.core.ids import EventId
+from repro.history import Version
 
 
 class TestLocalEditing:
@@ -48,25 +49,36 @@ class TestLocalEditing:
 
     def test_version_advances_with_edits(self):
         doc = Document("alice")
-        assert doc.version == ()
+        assert doc.local_version == ()
+        assert doc.version().is_root
         doc.insert(0, "ab")
-        assert doc.version == (0,)
+        assert doc.local_version == (0,)
+        assert doc.version() == Version([EventId("alice", 1)])
         # Typing straight on extends the frontier run in place (sender-side
-        # coalescing): still one event, covering all four characters.
+        # coalescing): still one event, covering all four characters — but the
+        # id-based handle advances (it names the run's new last character).
         doc.insert(2, "cd")
-        assert doc.version == (0,)
+        assert doc.local_version == (0,)
+        assert doc.version() == Version([EventId("alice", 3)])
         assert len(doc.oplog) == 1
         assert doc.oplog.graph.num_chars == 4
         # A non-continuing edit (here: a jump back) starts a new run event.
         doc.insert(0, "x")
-        assert doc.version == (1,)
+        assert doc.local_version == (1,)
 
     def test_local_run_coalescing_can_be_disabled(self):
         doc = Document("alice", coalesce_local_runs=False)
         doc.insert(0, "ab")
         doc.insert(2, "cd")
-        assert doc.version == (1,)
+        assert doc.local_version == (1,)
         assert len(doc.oplog) == 2
+
+    def test_oplog_version_property_is_deprecated(self):
+        doc = Document("alice")
+        doc.insert(0, "ab")
+        with pytest.warns(DeprecationWarning):
+            assert doc.oplog.version == (0,)
+        assert doc.oplog.local_version == (0,)
 
 
 class TestMerging:
@@ -159,38 +171,45 @@ class TestMerging:
         bob.apply_remote_events(alice.oplog.export_events())
         assert bob.text == "shared"
         bob.insert(6, "!")
-        missing = bob.events_since(alice.remote_version())
+        missing = bob.events_since(alice.version())
         assert [e.id for e in missing] == [EventId("bob", 0)]
         alice.apply_remote_events(missing)
         assert alice.text == "shared!"
 
+    def test_events_since_accepts_raw_ids_and_version_handles(self):
+        alice = Document("alice")
+        alice.insert(0, "shared")
+        bob = Document("bob")
+        bob.merge(alice)
+        bob.insert(6, "!")
+        handle = alice.version()
+        assert bob.events_since(handle) == bob.events_since(handle.ids)
+
 
 class TestHistory:
-    def test_text_at_version(self):
-        # Index-based snapshots are stable when coalescing is off (every edit
-        # is its own event, so indices never change meaning).
-        doc = Document("alice", coalesce_local_runs=False)
+    def test_text_at_saved_version(self):
+        doc = Document("alice")
         doc.insert(0, "abc")
-        version_after_abc = doc.version
+        version_after_abc = doc.version()
         doc.insert(3, "def")
         doc.delete(0, 1)
         assert doc.text_at(version_after_abc) == "abc"
-        assert doc.text_at(doc.version) == doc.text
+        assert doc.text_at(doc.version()) == doc.text
 
-    def test_text_at_remote_survives_run_coalescing(self):
-        """With coalescing on, a snapshot taken as character ids keeps naming
-        the same prefix even after the frontier run grows in place."""
+    def test_version_handle_survives_run_coalescing(self):
+        """A handle keeps naming the same prefix even after the frontier run
+        grows in place (the id names a character, not a run)."""
         doc = Document("alice")
         doc.insert(0, "abc")
-        snapshot = doc.remote_version()
+        snapshot = doc.version()
         doc.insert(3, "def")  # extends the same run event
         doc.delete(0, 1)
         assert len(doc.oplog) == 2  # the two inserts coalesced
-        assert doc.text_at_remote(snapshot) == "abc"
-        assert doc.text_at(doc.version) == doc.text
+        assert doc.text_at(snapshot) == "abc"
+        assert doc.text_at(doc.version()) == doc.text
 
-    def test_text_at_remote_is_order_independent(self):
-        """Resolving a snapshot must not be corrupted by the run splits the
+    def test_version_resolution_is_order_independent(self):
+        """Resolving a handle must not be corrupted by the run splits the
         resolution itself performs (each split shifts later indices)."""
         p = Document("p")
         p.insert(0, "pppp")
@@ -200,28 +219,84 @@ class TestHistory:
         p.insert(4, "RRRR")  # concurrent with q's insert, coalesces with run
         p.merge(q)
         q.merge(p)
-        snapshot = (EventId("q", 1), EventId("p", 5))
-        expected = p.text_at_remote(tuple(reversed(snapshot)))
-        assert p.text_at_remote(snapshot) == expected
+        expected = p.text_at(Version((EventId("p", 5), EventId("q", 1))))
+        assert p.text_at(Version((EventId("q", 1), EventId("p", 5)))) == expected
         assert "SS" in expected and "pppp" in expected
 
-    def test_history_versions_enumeration(self):
+    def test_versions_enumeration(self):
         doc = Document("alice")
         doc.insert(0, "x")
         doc.insert(1, "y")  # continues the run: same event
-        assert doc.history_versions() == [(0,)]
+        assert doc.versions() == [Version([EventId("alice", 1)])]
         doc.insert(0, "a")  # cursor jump: new run event
-        versions = doc.history_versions()
-        assert versions == [(0,), (1,)]
+        versions = doc.versions()
+        assert len(versions) == 2
         assert [doc.text_at(v) for v in versions] == ["xy", "axy"]
 
-    def test_history_versions_are_per_run_event(self):
+    def test_versions_are_per_run_event(self):
         doc = Document("alice")
         doc.insert(0, "xy")
         doc.delete(0, 1)
-        versions = doc.history_versions()
-        assert versions == [(0,), (1,)]
+        versions = doc.versions()
+        assert len(versions) == 2
         assert [doc.text_at(v) for v in versions] == ["xy", "y"]
+
+    def test_diff_roundtrips_between_versions(self):
+        doc = Document("alice")
+        doc.insert(0, "hello world")
+        v1 = doc.version()
+        doc.delete(5, 6)
+        doc.insert(5, ", goodbye")
+        v2 = doc.version()
+        ops = doc.diff(v1, v2)
+        text = doc.text_at(v1)
+        for op in ops:
+            text = op.apply_to(text)
+        assert text == doc.text_at(v2) == "hello, goodbye"
+
+    def test_checkout_is_an_editable_branch(self):
+        doc = Document("alice")
+        doc.insert(0, "abc")
+        v = doc.version()
+        doc.insert(3, "def")
+        branch = doc.checkout(v)
+        assert branch.text == "abc"
+        branch.insert(3, "!")
+        assert branch.text == "abc!"
+        # The branch merges back like any replica.
+        doc.merge(branch)
+        assert "!" in doc.text and "def" in doc.text
+
+
+class TestDeprecatedIndexShims:
+    def test_text_at_with_index_tuples_warns_but_works(self):
+        doc = Document("alice", coalesce_local_runs=False)
+        doc.insert(0, "abc")
+        version_after_abc = doc.local_version
+        doc.insert(3, "def")
+        with pytest.warns(DeprecationWarning):
+            assert doc.text_at(version_after_abc) == "abc"
+
+    def test_text_at_remote_warns_but_works(self):
+        doc = Document("alice")
+        doc.insert(0, "abc")
+        snapshot = doc.version().ids
+        doc.insert(3, "def")
+        with pytest.warns(DeprecationWarning):
+            assert doc.text_at_remote(snapshot) == "abc"
+
+    def test_remote_version_warns_but_works(self):
+        doc = Document("alice")
+        doc.insert(0, "ab")
+        with pytest.warns(DeprecationWarning):
+            assert doc.remote_version() == doc.version().ids
+
+    def test_history_versions_warns_but_works(self):
+        doc = Document("alice")
+        doc.insert(0, "xy")
+        doc.delete(0, 1)
+        with pytest.warns(DeprecationWarning):
+            assert doc.history_versions() == [(0,), (1,)]
 
 
 class TestWalkerConfigurationsOnDocuments:

@@ -28,6 +28,15 @@ text must match the per-character
 :func:`~repro.core.event_graph.expand_to_chars` oracle replayed with the
 simple list backend.
 
+On top of convergence, every session exercises the **version stability**
+property of the id-based history subsystem: replicas save
+``document.version()`` handles (with the text they stood for) at random
+points mid-session, and at the end — after all the in-place run extensions,
+interop splits and re-carved syncs above — ``text_at(saved)`` must reproduce
+the saved text exactly, must agree with the per-character oracle, saved
+handles must round-trip through the storage codec, and ``diff`` between a
+replica's consecutive saves must transform one saved text into the next.
+
 Everything is seeded and deterministic: session ``i`` uses
 ``random.Random(BASE_SEED + i)``.  The iteration count comes from the
 ``--fuzz-iterations`` pytest option (tests/conftest.py); CI runs a fixed
@@ -42,7 +51,14 @@ from repro.core.document import Document
 from repro.core.event_graph import expand_to_chars
 from repro.core.oplog import recarve_events
 from repro.core.walker import EgWalker
+from repro.history import History, Version, apply_ops
 from repro.network.simulator import full_mesh, star
+from repro.storage import (
+    decode_event_graph,
+    decode_version,
+    encode_event_graph,
+    encode_version,
+)
 
 BASE_SEED = 0xE6_2024
 ALPHABET = "abcdefghijklmnopqrstuvwxyz"
@@ -52,6 +68,14 @@ def oracle_text(document: Document) -> str:
     """The document text according to the per-character oracle."""
     expanded = expand_to_chars(document.oplog.graph)
     return EgWalker(expanded, backend="list", enable_clearing=False).replay_text()
+
+
+def oracle_text_at(document: Document, version: Version) -> str:
+    """The text at ``version`` according to the per-character oracle."""
+    expanded = expand_to_chars(document.oplog.graph)
+    indices = tuple(sorted({expanded.index_of(eid) for eid in version.ids}))
+    walker = EgWalker(expanded, backend="list", enable_clearing=False)
+    return walker.text_at_version(indices)
 
 
 def random_recarve(rng: random.Random, events):
@@ -86,10 +110,16 @@ def run_session(
         sim = full_mesh(names, latency=0.01, document_options=document_options)
         all_names = names
     partitioned: set[frozenset[str]] = set()
+    #: Version-stability snapshots: (replica name, saved handle, saved text).
+    saved_versions: list[tuple[str, Version, str]] = []
 
     for _ in range(steps):
         roll = rng.random()
         replica = sim.replicas[rng.choice(names)]
+        if len(saved_versions) < 6 and rng.random() < 0.18:
+            saved_versions.append(
+                (replica.name, replica.document.version(), replica.text)
+            )
         if roll < 0.45 or not replica.text:
             pos = rng.randint(0, len(replica.text))
             length = rng.randint(1, 6)
@@ -145,6 +175,47 @@ def run_session(
         assert oracle_text(replica.document) == expected, (
             f"replica {name} disagrees with the per-character oracle "
             f"(seed {seed}, incremental={incremental}, {topology})"
+        )
+
+    # --- version stability: saved handles still mean what they meant -------
+    context = f"seed {seed}, incremental={incremental}, {topology}"
+    per_replica: dict[str, list[tuple[Version, str]]] = {}
+    for owner, version, text in saved_versions:
+        document = sim.replicas[owner].document
+        reconstructed = document.text_at(version)
+        assert reconstructed == text, (
+            f"text_at(saved version) diverged from the text the replica held "
+            f"when the handle was taken ({context}, owner {owner})"
+        )
+        assert reconstructed == oracle_text_at(document, version), (
+            f"text_at(saved version) disagrees with the per-character oracle "
+            f"({context}, owner {owner})"
+        )
+        # The handle resolves on *every* replica (all have converged), not
+        # just the one that took it.
+        other = sim.replicas[rng.choice(all_names)].document
+        assert other.text_at(version) == text, (
+            f"saved version resolved differently on another replica ({context})"
+        )
+        per_replica.setdefault(owner, []).append((version, text))
+
+    # diff between a replica's consecutive saves transforms text to text.
+    for owner, snaps in per_replica.items():
+        document = sim.replicas[owner].document
+        for (v1, t1), (v2, t2) in zip(snaps, snaps[1:]):
+            assert apply_ops(t1, document.diff(v1, v2)) == t2, (
+                f"diff between saved versions does not transform the saved "
+                f"texts into each other ({context}, owner {owner})"
+            )
+
+    # Saved handles survive a storage round trip of the event graph.
+    if saved_versions:
+        owner, version, text = saved_versions[0]
+        graph_bytes = encode_event_graph(sim.replicas[owner].document.oplog.graph)
+        handle_bytes = encode_version(version)
+        history = History.over_graph(decode_event_graph(graph_bytes).graph)
+        assert history.text_at(decode_version(handle_bytes)) == text, (
+            f"saved version did not survive the storage round trip ({context})"
         )
 
 

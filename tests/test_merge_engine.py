@@ -223,6 +223,44 @@ class TestSequentialFastPath:
 # ----------------------------------------------------------------------
 # Resident walker state between merges
 # ----------------------------------------------------------------------
+class TestBatchPrefixPeeling:
+    def test_sequential_prefix_of_mixed_batch_applies_verbatim(self):
+        """A single batch holding a sequential prefix and a concurrent tail
+        (what per-tick delivery batching produces on a heal) fast-paths the
+        prefix and walks only the tail."""
+        alice = Document("alice")
+        alice.insert(0, "base ")
+        bob = Document("bob")
+        bob.merge(alice)
+        bob.insert(5, "next ")       # sequential after alice's run
+        alice.insert(0, "X")          # concurrent with bob's event
+        batch = alice.oplog.export_events() + bob.oplog.export_events()[1:]
+        carol = Document("carol")
+        carol.apply_remote_events(batch)
+        alice.merge(bob)
+        assert carol.text == alice.text
+        stats = carol.merge_stats
+        assert stats.merges == 1
+        # The first event (everyone's common ancestor) applied verbatim; the
+        # two mutually concurrent events went through the walker.
+        assert stats.fast_path_events == 1
+        assert stats.replayed_new_events == 2
+        assert stats.fast_path_merges == 0  # the merge was not *entirely* fast
+        assert (
+            stats.fast_path_events + stats.replayed_new_events
+            == stats.events_integrated
+        )
+
+    def test_critical_run_end(self):
+        doc = Document("alice", coalesce_local_runs=False)
+        for i in range(4):
+            doc.insert(0, "x")  # linear: every position is a cut
+        tracker = doc.engine.tracker
+        assert tracker.critical_run_end(0) == 3
+        assert tracker.critical_run_end(2) == 3
+        assert tracker.critical_run_end(4) == 3  # position 4 doesn't exist yet
+
+
 class TestResidentState:
     def test_concurrent_episode_resumes_instead_of_replaying(self):
         """During a ping-pong concurrent episode with no critical versions,
@@ -314,8 +352,19 @@ class TestResidentState:
             assert stats.walkers_rebuilt == 0
             assert stats.cut_scan_events == 0
             assert stats.merges > 0
-            # Most merges are sequential deliveries.
-            assert stats.fast_path_merges >= stats.merges * 0.5
+            # A large share of deliveries are sequential fast paths.  (With
+            # per-tick delivery batching a batch holding two mutually
+            # concurrent events cannot be fast — their versions are not
+            # critical once both are in the graph — and consecutive
+            # sequential events collapse into one fast merge, so the ratio
+            # sits lower than per-event delivery used to report.)
+            assert stats.fast_path_merges >= stats.merges * 0.4
+            assert stats.fast_path_events > 0
+            # Nothing was integrated twice or dropped.
+            assert (
+                stats.fast_path_events + stats.replayed_new_events
+                == stats.events_integrated
+            )
             assert oracle_text(replica.document) == replica.text
 
 
@@ -383,7 +432,7 @@ class TestSenderSideCoalescing:
         alice.insert(0, "abc")
         bob = Document("bob")
         bob.merge(alice)
-        remote = bob.remote_version()
+        remote = bob.version()
         alice.insert(3, "defg")  # in-place extension
         missing = alice.events_since(remote)
         assert sum(e.op.length for e in missing) == 4

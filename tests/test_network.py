@@ -203,3 +203,56 @@ class TestNetworkSimulator:
         # The whole insert run travels as a single event message.
         assert sim.messages_sent == 1
         assert sim.messages_delivered == 1
+
+
+class TestBatchedDelivery:
+    def test_buffer_batches_cascades_into_one_call(self):
+        batches = []
+        buffer = CausalBuffer(deliver_batch=batches.append)
+        e1 = RemoteEvent(EventId("a", 0), (), insert_op(0, "x"))
+        e2 = RemoteEvent(EventId("a", 1), (EventId("a", 0),), insert_op(1, "y"))
+        e3 = RemoteEvent(EventId("a", 2), (EventId("a", 1),), insert_op(2, "z"))
+        assert buffer.receive(e3) == 0
+        assert buffer.receive(e2) == 0
+        # e1 unblocks the whole chain: one batch carries all three, in order.
+        assert buffer.receive(e1) == 3
+        assert len(batches) == 1
+        assert [e.id.seq for e in batches[0]] == [0, 1, 2]
+        assert buffer.stats.batches == 1
+
+    def test_receive_batch_is_one_dispatch(self):
+        batches = []
+        buffer = CausalBuffer(deliver_batch=batches.append)
+        events = [
+            RemoteEvent(EventId("a", 0), (), insert_op(0, "x")),
+            RemoteEvent(EventId("b", 0), (EventId("a", 0),), insert_op(1, "y")),
+            RemoteEvent(EventId("c", 0), (EventId("b", 0),), insert_op(2, "z")),
+        ]
+        assert buffer.receive_batch(events) == 3
+        assert len(batches) == 1 and buffer.stats.batches == 1
+
+    def test_exactly_one_callback_required(self):
+        with pytest.raises(ValueError):
+            CausalBuffer()
+        with pytest.raises(ValueError):
+            CausalBuffer(lambda e: None, deliver_batch=lambda b: None)
+
+    def test_hub_fan_in_pays_one_integrate_per_tick(self):
+        """Relay-hub amortisation: many leaves editing in the same latency
+        window must cost the hub one merge per advance() tick, not one per
+        event (the PR 3 leftover this batching exists for)."""
+        leaves = [f"u{i}" for i in range(6)]
+        sim = star("hub", leaves, latency=0.01)
+        hub = sim.replicas["hub"]
+        for round_no in range(5):
+            for i, leaf in enumerate(leaves):
+                replica = sim.replicas[leaf]
+                replica.insert(len(replica.text), f"{leaf}r{round_no} ")
+            sim.advance(0.05)  # every leaf's event reaches the hub this tick
+        sim.run_until_quiescent()
+        assert sim.converged()
+        stats = hub.document.merge_stats
+        # 30 events arrived at the hub; without batching that is >= 30 merges.
+        assert stats.events_integrated >= 30
+        assert stats.merges <= 10
+        assert hub.buffer.buffer.stats.batches == hub.document.merge_stats.merges

@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.event_graph import EventGraph
 from repro.core.ids import EventId, delete_op, insert_op
 from repro.core.walker import EgWalker
+from repro.history import Version
 from repro.storage import (
     EncodeOptions,
     Snapshot,
@@ -14,11 +15,13 @@ from repro.storage import (
     decode_snapshot,
     decode_svarint,
     decode_uvarint,
+    decode_version,
     decompress,
     encode_event_graph,
     encode_snapshot,
     encode_svarint,
     encode_uvarint,
+    encode_version,
 )
 from repro.storage.varint import ByteReader, ByteWriter
 
@@ -253,17 +256,28 @@ class TestSplitRunStorage:
 
 class TestSnapshots:
     def test_snapshot_round_trip(self):
-        snapshot = Snapshot(text="hello wörld", version=(EventId("a", 3), EventId("b", 7)))
+        snapshot = Snapshot(
+            text="hello wörld", version=Version((EventId("a", 3), EventId("b", 7)))
+        )
         decoded = decode_snapshot(encode_snapshot(snapshot))
         assert decoded == snapshot
 
     def test_empty_snapshot(self):
-        snapshot = Snapshot(text="", version=())
+        snapshot = Snapshot(text="", version=Version())
         assert decode_snapshot(encode_snapshot(snapshot)) == snapshot
 
     def test_wrong_magic_rejected(self):
         with pytest.raises(ValueError):
             decode_snapshot(b"XXXXwhatever")
+
+    def test_version_handle_round_trip(self):
+        version = Version((EventId("a", 3), EventId("b", 7)))
+        assert decode_version(encode_version(version)) == version
+        assert decode_version(encode_version(Version())) == Version()
+
+    def test_version_handle_wrong_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_version(b"XXXXwhatever")
 
 
 class TestEncodingProperty:
