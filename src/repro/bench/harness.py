@@ -19,6 +19,9 @@ Experiment index (see DESIGN.md §3):
 * :func:`run_merge_latency` — per-merge cost vs history length in a live
   session: the incremental merge engine vs the legacy rebuild path
   (``BENCH_merge_latency.json`` / the perf-smoke CI gate)
+* :func:`run_replay_throughput` — end-to-end replay events/sec when a fresh
+  replica consumes a whole trace in batches, incremental engine on vs off
+  (``BENCH_replay_throughput.json`` / the replay perf-smoke CI gate)
 """
 
 from __future__ import annotations
@@ -49,6 +52,7 @@ __all__ = [
     "run_sort_order_ablation",
     "run_scaling",
     "run_merge_latency",
+    "run_replay_throughput",
     "run_all",
 ]
 
@@ -387,6 +391,81 @@ def run_merge_latency(
 
 
 # ----------------------------------------------------------------------
+# Replay throughput: end-to-end events/sec consuming a whole trace
+# ----------------------------------------------------------------------
+def run_replay_throughput(
+    traces: dict[str, Trace] | None = None,
+    trace_names: Iterable[str] = ("S3", "C2"),
+    batch_size: int = 8,
+) -> list[dict[str, object]]:
+    """End-to-end replay throughput: a fresh replica consumes a whole trace.
+
+    For each trace the portable event stream is delivered to a brand-new
+    :class:`Document` in batches of ``batch_size`` (the live-session shape:
+    many small merges against a growing history, not one bulk load), once
+    with the incremental merge engine and once with the legacy rebuild path.
+    The headline number is **run events per second**; the engine's own
+    counters (resumed merges, window events replayed, checkpoint lifecycle)
+    are recorded next to it so a throughput regression can be attributed:
+    dropped checkpoints show up directly as redundant
+    ``replayed_window_events``.
+
+    The receiver's final text is checked against a one-shot walker replay of
+    the same graph, so the numbers can never come from a broken merge.
+    """
+    all_traces = _traces(traces)
+    rows: list[dict[str, object]] = []
+    for name in trace_names:
+        if name not in all_traces:
+            continue
+        trace = all_traces[name]
+        graph = trace.graph
+        events = [
+            RemoteEvent(
+                id=event.id,
+                parents=tuple(graph.dependency_id(p) for p in event.parents),
+                op=event.op,
+            )
+            for event in graph.events()
+        ]
+        expected_text = EgWalker(graph).replay_text()
+        for incremental in (True, False):
+            receiver = Document("receiver", incremental=incremental)
+
+            def deliver() -> None:
+                for start in range(0, len(events), batch_size):
+                    receiver.apply_remote_events(events[start : start + batch_size])
+
+            _, seconds = _timed(deliver)
+            assert receiver.text == expected_text
+            stats = receiver.merge_stats
+            run_events = len(receiver.oplog.graph)
+            rows.append(
+                {
+                    "trace": name,
+                    "incremental": incremental,
+                    "batch_size": batch_size,
+                    "run_events": run_events,
+                    "char_events": receiver.oplog.graph.num_chars,
+                    "seconds": round(seconds, 4),
+                    "events_per_sec": round(run_events / seconds, 1),
+                    "chars_per_sec": round(
+                        receiver.oplog.graph.num_chars / seconds, 1
+                    ),
+                    "fast_path_events": stats.fast_path_events,
+                    "resumed_merges": stats.resumed_merges,
+                    "fresh_replays": stats.fresh_replays,
+                    "replayed_window_events": stats.replayed_window_events,
+                    "replayed_new_events": stats.replayed_new_events,
+                    "checkpoints_kept": stats.checkpoints_kept,
+                    "checkpoints_dropped": stats.checkpoints_dropped,
+                    "checkpoints_patched": stats.checkpoints_patched,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
 def run_all(traces: dict[str, Trace] | None = None) -> dict[str, list[dict[str, object]]]:
     """Run every experiment and return all result rows, keyed by experiment id."""
     traces = _traces(traces)
@@ -400,4 +479,5 @@ def run_all(traces: dict[str, Trace] | None = None) -> dict[str, list[dict[str, 
         "x1_sort_order": run_sort_order_ablation(traces),
         "x2_scaling": run_scaling(),
         "x3_merge_latency": run_merge_latency(),
+        "x4_replay_throughput": run_replay_throughput(traces),
     }

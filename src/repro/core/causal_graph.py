@@ -27,10 +27,13 @@ from .event_graph import EventGraph, Version
 
 __all__ = ["CausalGraph", "DiffResult"]
 
-# Flags used in the diff traversal.
+# Flags used in the diff and meet traversals.
 _FLAG_A = 1
 _FLAG_B = 2
 _FLAG_SHARED = 3
+# Meet traversal only: reached as a strict ancestor of an emitted meet member,
+# so it is in the shared set but cannot be maximal in it.
+_FLAG_DOMINATED = 4
 
 
 class DiffResult(tuple):
@@ -179,20 +182,65 @@ class CausalGraph:
     def meet_versions(self, a: Version, b: Version) -> Version:
         """The *meet* (greatest lower bound): the most recent common ancestor.
 
-        ``Events(result) = Events(a) ∩ Events(b)``.  Because the intersection
-        of two transitively closed sets is transitively closed, its frontier
-        is exactly the members with no child inside the set, which a single
-        pass finds — O(n) total (both ancestor sets are materialised).
+        ``Events(result) = Events(a) ∩ Events(b)``.  Implemented as the same
+        backwards max-heap walk as :meth:`diff`, with one extra flag: events
+        are tagged with the side(s) that reached them, an event first reached
+        from *both* sides pops as ``SHARED``, and the parents of emitted
+        events propagate ``DOMINATED`` (in the shared set, but with a shared
+        descendant — never maximal).  Popping in descending topological order
+        guarantees every path from an emitted member down to one of its
+        ancestors is traversed before that ancestor pops, so an event still
+        tagged ``SHARED`` at pop time is exactly a maximal member of the
+        intersection.  The walk stops once only ``DOMINATED`` entries remain:
+        cost is proportional to the distance between the two versions and
+        their common frontier, not to history size (the old implementation
+        materialised both full ancestor sets, O(n) per call — this is what
+        made ``History.meet`` O(history) even for adjacent versions).
         """
-        shared = self.ancestors(a) & self.ancestors(b)
+        if not a or not b:
+            return ()
         graph = self._graph
-        return tuple(
-            sorted(
-                idx
-                for idx in shared
-                if not any(child in shared for child in graph.children_of(idx))
-            )
-        )
+        flags: dict[int, int] = {}
+        heap: list[int] = []
+        # Entries that could still produce (or become) meet members: A, B and
+        # SHARED.  DOMINATED entries only exist to keep tainting ancestors.
+        num_live = 0
+
+        def push(idx: int, flag: int) -> None:
+            nonlocal num_live
+            old = flags.get(idx)
+            if old is None:
+                flags[idx] = flag
+                heapq.heappush(heap, -idx)
+                if flag != _FLAG_DOMINATED:
+                    num_live += 1
+            elif old == _FLAG_DOMINATED or old == flag:
+                pass
+            elif flag == _FLAG_DOMINATED:
+                flags[idx] = _FLAG_DOMINATED
+                num_live -= 1
+            else:
+                # A meets B (either directly or via an existing SHARED tag).
+                flags[idx] = _FLAG_SHARED
+
+        for idx in a:
+            push(idx, _FLAG_A)
+        for idx in b:
+            push(idx, _FLAG_B)
+
+        meet: list[int] = []
+        while num_live > 0 and heap:
+            idx = -heapq.heappop(heap)
+            flag = flags.pop(idx)
+            if flag != _FLAG_DOMINATED:
+                num_live -= 1
+            if flag == _FLAG_SHARED:
+                meet.append(idx)
+                flag = _FLAG_DOMINATED  # ancestors of a member are dominated
+            for p in graph.parents_of(idx):
+                push(p, flag)
+        meet.reverse()
+        return tuple(meet)
 
     def versions_equal(self, a: Version, b: Version) -> bool:
         return tuple(sorted(a)) == tuple(sorted(b))

@@ -159,15 +159,24 @@ class CriticalCutTracker:
       amortized (the removals are a tail truncation of a sorted list).
 
     * **split** of the run at ``index`` (interop re-carving, a semantic
-      no-op): positions ``> index`` shift up by one; a cut *at* ``index``
-      (after the whole run) maps to ``index + 1`` (after the right half) and
-      gains a twin at ``index`` — the cut after the left half is critical
-      exactly iff the cut after the whole run was, because the left half
-      keeps the run's parents and every other reference to the run moves to
-      the right half.
+      no-op): a cut after the whole run becomes a cut after the *right half*
+      and gains a twin after the left half — the cut after the left half is
+      critical exactly iff the cut after the whole run was, because the left
+      half keeps the run's parents and every other reference to the run moves
+      to the right half.  Cuts elsewhere are untouched.
 
     * **in-place extension** of the frontier run (sender-side coalescing):
       no event set changes, so the cut set is untouched.
+
+    Cuts are stored as **stable event handles** (:meth:`EventGraph.handle_at`),
+    not positions: "the cut after event X" survives any number of splits
+    elsewhere in the order without bookkeeping, so :meth:`event_split` is
+    O(log cuts) — one membership probe and at most one twin insertion —
+    instead of the O(cuts) shift-everything loop a position-keyed list needs
+    (which made a single interop split O(n) on a mostly-sequential history,
+    where nearly every position is a cut).  The handle list stays sorted by
+    *current* position because order labels are comparison-stable
+    (:meth:`EventGraph.order_key`); the external API still speaks positions.
 
     The tracker registers itself as a listener on the graph
     (:meth:`EventGraph.add_listener`) and must be attached while the graph is
@@ -176,35 +185,49 @@ class CriticalCutTracker:
 
     def __init__(self, graph: EventGraph, *, attach: bool = True) -> None:
         self.graph = graph
-        #: Sorted positions (== local indices, since the tracked order is the
-        #: local order) whose prefix version is critical.
+        #: Event handles whose prefix version is critical ("the cut after
+        #: event X"), kept sorted by current local position (equivalently, by
+        #: live order label).
         self._cuts: list[int] = []
         if len(graph) > 0:
             self.rebuild()
         if attach:
             graph.add_listener(self)
 
+    def _bisect_position(self, position: int) -> int:
+        """Index into ``_cuts`` of the first cut at a position ``>= position``."""
+        graph = self.graph
+        if position >= len(graph):
+            return len(self._cuts)
+        return bisect.bisect_left(
+            self._cuts, graph.order_key(graph.handle_at(position)), key=graph.order_key
+        )
+
     # -- listener hooks -------------------------------------------------
     def event_added(self, event: Event) -> None:
+        graph = self.graph
         parents = event.parents
-        index = event.index
         if not parents:
-            if index > 0:
+            if event.index > 0:
                 self._cuts.clear()
         else:
             # Cuts strictly after the event's earliest parent die.
-            keep = bisect.bisect_right(self._cuts, parents[0])
+            keep = self._bisect_position(parents[0] + 1)
             del self._cuts[keep:]
-        if self.graph.frontier == (index,):
-            self._cuts.append(index)
+        if graph.frontier_handles == (event.handle,):
+            self._cuts.append(event.handle)
 
     def event_split(self, index: int) -> None:
-        pos = bisect.bisect_left(self._cuts, index)
-        had_cut_at_index = pos < len(self._cuts) and self._cuts[pos] == index
-        for i in range(pos, len(self._cuts)):
-            self._cuts[i] += 1
-        if had_cut_at_index:
-            self._cuts.insert(pos, index)
+        # The left half keeps the split run's handle; if "after the whole
+        # run" was a cut, that stored handle now means "after the left half"
+        # (still critical) and the right half becomes a cut too.  Nothing
+        # else moves: every other cut is keyed by an untouched handle.
+        left = self.graph.handle_at(index)
+        pos = bisect.bisect_left(
+            self._cuts, self.graph.order_key(left), key=self.graph.order_key
+        )
+        if pos < len(self._cuts) and self._cuts[pos] == left:
+            self._cuts.insert(pos + 1, self.graph.handle_at(index + 1))
 
     def event_extended(self, index: int, added_length: int) -> None:
         return None  # run lengths do not affect criticality
@@ -212,20 +235,22 @@ class CriticalCutTracker:
     # -- queries --------------------------------------------------------
     def cuts(self) -> list[int]:
         """The current critical cut positions, ascending (a copy)."""
-        return list(self._cuts)
+        return [self.graph.index_of_handle(h) for h in self._cuts]
 
     def latest_cut(self) -> int | None:
-        return self._cuts[-1] if self._cuts else None
+        return self.graph.index_of_handle(self._cuts[-1]) if self._cuts else None
 
     def latest_cut_before(self, position: int) -> int | None:
         """O(log n) equivalent of :func:`latest_critical_cut_before` on the
         local order."""
-        idx = bisect.bisect_left(self._cuts, position)
-        return self._cuts[idx - 1] if idx > 0 else None
+        idx = self._bisect_position(position)
+        return self.graph.index_of_handle(self._cuts[idx - 1]) if idx > 0 else None
 
     def is_cut(self, position: int) -> bool:
-        idx = bisect.bisect_left(self._cuts, position)
-        return idx < len(self._cuts) and self._cuts[idx] == position
+        idx = self._bisect_position(position)
+        return idx < len(self._cuts) and self._cuts[idx] == self.graph.handle_at(
+            position
+        )
 
     def all_cuts_from(self, position: int) -> bool:
         """Are *all* positions ``position .. len(graph) - 1`` critical?
@@ -233,16 +258,20 @@ class CriticalCutTracker:
         This is the sequential fast-path test: when it holds for the position
         just before a batch of new events, every new event's parent version
         and own version are critical, so the events apply verbatim.  O(1)
-        (two list lookups).
+        (cut positions are strictly increasing, so matching endpoints force
+        the in-betweens).
         """
-        n = len(self.graph)
+        graph = self.graph
+        n = len(graph)
         count = n - position
         if count <= 0:
             return True
         if len(self._cuts) < count:
             return False
-        tail = self._cuts[-count:]
-        return tail[0] == position and tail[-1] == n - 1
+        return (
+            self._cuts[-count] == graph.handle_at(position)
+            and self._cuts[-1] == graph.handle_at(n - 1)
+        )
 
     def critical_run_end(self, position: int) -> int:
         """The end of the consecutive run of critical cuts starting at
@@ -256,14 +285,24 @@ class CriticalCutTracker:
         tail): events up to ``m`` apply verbatim, only the tail needs the
         walker.  O(log cuts + run length).
         """
-        idx = bisect.bisect_left(self._cuts, position)
+        graph = self.graph
+        n = len(graph)
+        idx = self._bisect_position(position)
         end = position - 1
-        while idx < len(self._cuts) and self._cuts[idx] == end + 1:
+        while (
+            idx < len(self._cuts)
+            and end + 1 < n
+            and self._cuts[idx] == graph.handle_at(end + 1)
+        ):
             end += 1
             idx += 1
         return end
 
     def rebuild(self) -> None:
         """Recompute from scratch (O(n); only used when attaching late)."""
-        order = range(len(self.graph))
-        self._cuts = sorted(critical_cut_positions(self.graph, order))
+        graph = self.graph
+        order = range(len(graph))
+        self._cuts = [
+            graph.handle_at(p)
+            for p in sorted(critical_cut_positions(graph, order))
+        ]

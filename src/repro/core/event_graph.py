@@ -24,11 +24,42 @@ the **last** character the event depends on; within a trusted local graph
 (:meth:`EventGraph.add_event`) any character of a run still identifies the
 whole run, because locally-created runs are only ever depended on whole.
 
-Locally, events are stored in an append-only list.  Because an event can only
-be added once all of its parents are present, the list order is always a valid
-topological order, and most algorithms in this package address events by their
-integer index in that list (the *local index*).  Versions (frontiers) are
-represented as sorted tuples of local indices.
+Storage layout — columns keyed by **stable event handles**
+----------------------------------------------------------
+
+Algorithms address events by their integer position in the local topological
+order (the *local index*; versions are sorted tuples of local indices).  But
+local indices shift whenever an interop split inserts a right half mid-order,
+so indices cannot be the storage key: the original row-of-objects layout
+paid an O(n) Python re-indexing pass per split, and every listener had to
+shift its own bookkeeping in lockstep.
+
+The graph therefore separates *identity* from *position*:
+
+* Each event gets a **handle** — a small integer allocated once and never
+  reused or renumbered.  All per-event data lives in parallel columns
+  indexed by handle (agent as an interned int, start seq, run length, parent
+  handles, child handles, the operation payload) — the columnar layout the
+  storage encoder uses on disk, here as the in-memory representation.
+* The local order is one array of handles (``_order``) plus a parallel array
+  of strictly increasing **order labels**.  ``index → handle`` is a list
+  lookup (O(1)); ``handle → index`` is a bisect over the labels (O(log n)).
+  A split allocates the right half a label midway between its neighbours, so
+  no existing label (and no listener keyed by handles) needs touching; label
+  space is re-spread in the rare case two neighbours become adjacent.
+
+:meth:`split_event` is then O(log n + degree) Python work: rewrite the
+whole-run parent references of the split run's children (via the child
+column) and insert the right half's handle into the order — the only O(n)
+residue is a pair of C-level array inserts.  Consumers that key off handles
+(the merge engine's critical-cut tracker, the per-agent range map, the
+frontier) do not shift anything; index-based caches (parents-as-indices) are
+invalidated wholesale by a generation counter and recomputed lazily.
+
+:class:`Event` is a permanent flyweight **view** (one per handle, ``__slots__``
+only): ``event.index`` always reports the current position, ``event.op`` /
+``event.id`` / ``event.parents`` read the columns, so holding an ``Event``
+across splits is safe — the object never goes stale.
 
 :func:`expand_to_chars` converts a run graph into the equivalent
 one-event-per-character graph — the representation the paper uses for
@@ -37,7 +68,7 @@ presentation, kept here as a correctness oracle for the run-length pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_left, insort
 from typing import Iterable, Iterator, Sequence
 
 from .ids import EventId, Operation, delete_op, insert_op
@@ -51,48 +82,72 @@ Version = tuple[int, ...]
 
 ROOT_VERSION: Version = ()
 
+#: Gap left between consecutive order labels on append; a split bisects the
+#: gap, so ~20 splits must land between the *same* two events before the
+#: label space is re-spread (O(n), amortised away).
+_LABEL_GAP = 1 << 20
 
-@dataclass(slots=True)
+
 class Event:
-    """A single run event in the graph.
+    """A view of one run event in the graph — a stable, never-stale handle.
 
-    Attributes:
-        index: local index of this event in the owning graph.
-        id: globally unique ``(agent, seq)`` identifier of the run's first
-            character; the run covers seqs ``id.seq .. id.seq + op.length - 1``.
-        parents: local indices of this event's parent events (sorted).  The
-            empty tuple means the event has no parents (it was generated
-            against the empty document).
-        op: the run operation this event performs.
+    One ``Event`` object exists per stored event, for the graph's lifetime.
+    All attributes read through to the graph's columns, so they are live:
+
+    * ``index`` — the event's *current* local index (splits shift it);
+    * ``id`` — globally unique ``(agent, seq)`` of the run's first character;
+      the run covers seqs ``id.seq .. id.seq + op.length - 1``;
+    * ``parents`` — current local indices of the parent events (sorted;
+      empty tuple = generated against the empty document);
+    * ``op`` — the run operation (shrinks on split, grows on extension);
+    * ``handle`` — the graph-internal stable integer key.
     """
 
-    index: int
-    id: EventId
-    parents: Version
-    op: Operation
+    __slots__ = ("graph", "handle")
+
+    def __init__(self, graph: "EventGraph", handle: int) -> None:
+        self.graph = graph
+        self.handle = handle
+
+    @property
+    def index(self) -> int:
+        return self.graph.index_of_handle(self.handle)
+
+    @property
+    def id(self) -> EventId:
+        return self.graph._h_id[self.handle]
+
+    @property
+    def parents(self) -> Version:
+        return self.graph._parent_indices(self.handle)
+
+    @property
+    def op(self) -> Operation:
+        return self.graph._h_op[self.handle]
 
     @property
     def num_chars(self) -> int:
         """Number of characters this event covers."""
-        return self.op.length
+        return self.graph._h_len[self.handle]
 
     @property
     def end_seq(self) -> int:
         """One past the seq of the run's last character."""
-        return self.id.seq + self.op.length
+        return self.graph._h_seq[self.handle] + self.graph._h_len[self.handle]
 
     def id_at(self, offset: int) -> EventId:
         """Id of the ``offset``-th character of this run."""
-        if offset < 0 or offset >= self.op.length:
+        if offset < 0 or offset >= self.graph._h_len[self.handle]:
             raise IndexError(f"offset {offset} out of range for event {self.index}")
         return self.id.advance(offset)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        kind = "ins" if self.op.is_insert else "del"
-        payload = repr(self.op.content) if self.op.is_insert else f"x{self.op.length}"
+        op = self.op
+        kind = "ins" if op.is_insert else "del"
+        payload = repr(op.content) if op.is_insert else f"x{op.length}"
         return (
             f"Event({self.index}, {self.id.agent}:{self.id.seq}, "
-            f"parents={list(self.parents)}, {kind}@{self.op.pos}{payload})"
+            f"parents={list(self.parents)}, {kind}@{op.pos}{payload})"
         )
 
 
@@ -105,25 +160,48 @@ class EventGraph:
     by :meth:`add_remote_event` / :meth:`merge_from`.
 
     The id mapping is a *range map*: per agent, a sorted list of run start
-    seqs, so that any character id resolves to ``(event_index, offset)`` in
-    O(log runs) with O(runs) memory — not O(chars).
+    seqs resolving to event handles, so that any character id maps to
+    ``(event_index, offset)`` in O(log runs) with O(runs) memory — not
+    O(chars).  See the module docstring for the columnar, handle-keyed
+    storage layout.
     """
 
     def __init__(self) -> None:
-        self._events: list[Event] = []
-        #: Per-agent range map: run-start seq -> run event (shared RangeIndex
-        #: machinery with the internal-state record index).
-        self._agent_index: dict[str, RangeIndex[Event]] = {}
-        self._children: list[list[int]] = []
-        self._frontier: list[int] = []
+        # -- per-handle columns (parallel lists indexed by handle) ---------
+        self._h_id: list[EventId] = []  # first-char id (cached composite)
+        self._h_agent: list[int] = []  # interned agent (index into _agent_names)
+        self._h_seq: list[int] = []  # run start seq
+        self._h_len: list[int] = []  # run length (in sync with the op)
+        self._h_op: list[Operation] = []  # operation payload
+        self._h_parents: list[tuple[int, ...]] = []  # parent handles
+        self._h_children: list[list[int]] = []  # child handles (append order)
+        self._h_label: list[int] = []  # order label (monotone along _order)
+        self._h_view: list[Event] = []  # the one Event view per handle
+        # parents-as-sorted-index-tuples cache + the generation it was
+        # computed at; bumping _gen (splits only) invalidates every entry in
+        # O(1), recomputation is lazy and O(parents log n).
+        self._h_pidx: list[Version] = []
+        self._h_pgen: list[int] = []
+        self._gen = 0
+        # -- the local order ----------------------------------------------
+        self._order: list[int] = []  # handles in local (topological) order
+        self._labels: list[int] = []  # labels parallel to _order (ascending)
+        # -- agent interning + id range maps --------------------------------
+        self._agent_names: list[str] = []
+        self._agent_ids: dict[str, int] = {}
+        #: Per-agent range map: run-start seq -> event handle (shared
+        #: RangeIndex machinery with the internal-state record index).
+        self._agent_index: dict[str, RangeIndex[int]] = {}
+        # -- aggregates ------------------------------------------------------
+        self._frontier: list[int] = []  # handles of events with no children
         self._next_seq: dict[str, int] = {}
         self._num_chars = 0
-        #: ``_cum_inserts[i]`` = total characters inserted by events ``0..i``.
-        #: Kept in lockstep with the event list (O(1) per append/extension;
-        #: splits rebuild the affected suffix, which split_event shifts
-        #: anyway) so :meth:`inserted_chars_through` is O(1).  The history
-        #: subsystem uses it as a safe upper bound on the document length at
-        #: any version contained in a prefix, to size replay placeholders.
+        #: ``_cum_inserts[i]`` = total characters inserted by events ``0..i``
+        #: (index-parallel, like ``_order``).  Kept in lockstep (O(1) per
+        #: append/extension; splits insert one entry) so
+        #: :meth:`inserted_chars_through` is O(1).  The history subsystem
+        #: uses it as a safe upper bound on the document length at any
+        #: version contained in a prefix, to size replay placeholders.
         self._cum_inserts: list[int] = []
         #: Structural-change observers (see :meth:`add_listener`).  Listeners
         #: are how incremental consumers (the merge engine's critical-cut
@@ -141,13 +219,16 @@ class EventGraph:
         * ``event_added(event)`` — called after a new event is appended,
         * ``event_split(index)`` — called after the run at ``index`` was split
           in place (the right half now lives at ``index + 1`` and every later
-          index shifted up by one), and
+          index shifted up by one; handles and order labels of existing
+          events are untouched), and
         * ``event_extended(index, added_length)`` — called after the run at
           ``index`` grew in place by ``added_length`` characters (sender-side
           run coalescing; only ever the frontier run).
 
         Missing methods are simply skipped, so listeners only implement what
-        they care about.
+        they care about.  Listeners that key their bookkeeping by *handle*
+        (:meth:`handle_at` / :meth:`order_key`) never need to shift anything
+        on a split.
         """
         self._listeners.append(listener)
 
@@ -162,20 +243,69 @@ class EventGraph:
                 hook(*args)
 
     # ------------------------------------------------------------------
+    # Handles <-> indices
+    # ------------------------------------------------------------------
+    def handle_at(self, index: int) -> int:
+        """The stable handle of the event currently at ``index``.  O(1).
+
+        Handles are never reused or renumbered: they survive splits (the
+        handle stays with the *left* half; the right half gets a fresh one),
+        in-place extensions, and any amount of later growth.
+        """
+        return self._order[index]
+
+    def index_of_handle(self, handle: int) -> int:
+        """Current local index of the event with the given handle.  O(log n)."""
+        return bisect_left(self._labels, self._h_label[handle])
+
+    def order_key(self, handle: int) -> int:
+        """The handle's order label: comparing two events' labels orders them
+        by current local index, without resolving either index.  O(1).
+
+        Labels are reassigned only when a label-space re-spread occurs (rare,
+        amortised), so consumers must read them live, never cache them.
+        """
+        return self._h_label[handle]
+
+    def _parent_indices(self, handle: int) -> Version:
+        """Parent handles resolved to sorted local indices, cached per
+        generation (splits bump the generation; appends/extensions do not
+        move anything, so caches stay valid)."""
+        if self._h_pgen[handle] == self._gen:
+            return self._h_pidx[handle]
+        labels = self._h_label
+        order_labels = self._labels
+        resolved = tuple(
+            sorted(bisect_left(order_labels, labels[p]) for p in self._h_parents[handle])
+        )
+        self._h_pidx[handle] = resolved
+        self._h_pgen[handle] = self._gen
+        return resolved
+
+    def _intern_agent(self, agent: str) -> int:
+        aid = self._agent_ids.get(agent)
+        if aid is None:
+            aid = self._agent_ids[agent] = len(self._agent_names)
+            self._agent_names.append(agent)
+        return aid
+
+    # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._order)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        views = self._h_view
+        return iter([views[h] for h in self._order])
 
     def __getitem__(self, index: int) -> Event:
-        return self._events[index]
+        return self._h_view[self._order[index]]
 
     def events(self) -> Sequence[Event]:
         """All events in local (topological) order."""
-        return self._events
+        views = self._h_view
+        return [views[h] for h in self._order]
 
     @property
     def num_chars(self) -> int:
@@ -184,7 +314,7 @@ class EventGraph:
 
     def contains_id(self, event_id: EventId) -> bool:
         """Does some stored run cover this character id?  O(log runs)."""
-        return self._locate(event_id) is not None
+        return self._locate_handle(event_id) is not None
 
     def locate(self, event_id: EventId) -> tuple[int, int]:
         """Resolve a character id to ``(event_index, offset)``.
@@ -194,10 +324,11 @@ class EventGraph:
         Raises:
             KeyError: if no run in this graph covers the id.
         """
-        found = self._locate(event_id)
+        found = self._locate_handle(event_id)
         if found is None:
             raise KeyError(f"event id {event_id} not in graph")
-        return found
+        handle, offset = found
+        return self.index_of_handle(handle), offset
 
     def index_of(self, event_id: EventId) -> int:
         """Local index of the event whose run covers the given id.
@@ -209,33 +340,40 @@ class EventGraph:
         """
         return self.locate(event_id)[0]
 
-    def _locate(self, event_id: EventId) -> tuple[int, int] | None:
+    def _locate_handle(self, event_id: EventId) -> tuple[int, int] | None:
         index = self._agent_index.get(event_id.agent)
         if index is None:
             return None
-        found = index.find(event_id.seq)
-        if found is None:
-            return None
-        event, offset = found
-        return event.index, offset
+        return index.find(event_id.seq)
 
     def id_of(self, index: int) -> EventId:
         """Id of the first character of the event at ``index``.  O(1)."""
-        return self._events[index].id
+        return self._h_id[self._order[index]]
 
     def parents_of(self, index: int) -> Version:
-        """Local indices of the event's parents (sorted).  O(1)."""
-        return self._events[index].parents
+        """Local indices of the event's parents (sorted).  O(1) amortized
+        (cached per handle; the cache is invalidated by splits and rebuilt
+        lazily at O(parents log n))."""
+        return self._parent_indices(self._order[index])
 
     def children_of(self, index: int) -> Sequence[int]:
         """Local indices of the event's children, maintained incrementally as
-        events are appended or split.  O(1)."""
-        return self._children[index]
+        events are appended or split.  O(children log n)."""
+        return [self.index_of_handle(c) for c in self._h_children[self._order[index]]]
 
     @property
     def frontier(self) -> Version:
         """The current version of the graph: all events with no children."""
-        return tuple(sorted(self._frontier))
+        return tuple(sorted(self.index_of_handle(h) for h in self._frontier))
+
+    @property
+    def frontier_handles(self) -> tuple[int, ...]:
+        """The frontier as stable handles, unordered.  O(frontier size).
+
+        Handle-keyed consumers (the critical-cut tracker) use this to test
+        "is the newest event the sole head" without resolving any indices.
+        """
+        return tuple(self._frontier)
 
     def next_seq_for(self, agent: str) -> int:
         """The next unused sequence number for ``agent`` in this graph.
@@ -296,7 +434,7 @@ class EventGraph:
                 covered (duplicate), or a parent index is out of range.
         """
         agent_index = self._agent_index.get(event_id.agent)
-        if self._locate(event_id) is not None or (
+        if self._locate_handle(event_id) is not None or (
             agent_index is not None
             and agent_index.next_start_in(event_id.seq, event_id.seq + op.length)
             is not None
@@ -306,27 +444,47 @@ class EventGraph:
             parent_indices = sorted(int(p) for p in parents)
         else:
             parent_indices = sorted({self.index_of(p) for p in parents})  # type: ignore[arg-type]
-        index = len(self._events)
+        index = len(self._order)
         for p in parent_indices:
             if p < 0 or p >= index:
                 raise ValueError(f"parent index {p} out of range for event {index}")
-        event = Event(index=index, id=event_id, parents=tuple(parent_indices), op=op)
-        self._events.append(event)
-        self._children.append([])
+        order = self._order
+        parent_handles = tuple(order[p] for p in parent_indices)
+
+        handle = len(self._h_id)
+        self._h_id.append(event_id)
+        self._h_agent.append(self._intern_agent(event_id.agent))
+        self._h_seq.append(event_id.seq)
+        self._h_len.append(op.length)
+        self._h_op.append(op)
+        self._h_parents.append(parent_handles)
+        self._h_children.append([])
+        self._h_pidx.append(tuple(parent_indices))
+        self._h_pgen.append(self._gen)
+        label = self._labels[-1] + _LABEL_GAP if self._labels else 0
+        self._h_label.append(label)
+        event = Event(self, handle)
+        self._h_view.append(event)
+
+        order.append(handle)
+        self._labels.append(label)
         if agent_index is None:
-            agent_index = self._agent_index[event_id.agent] = RangeIndex(_event_length)
-        agent_index.register(event_id.seq, event)
+            agent_index = self._agent_index[event_id.agent] = RangeIndex(
+                self._h_len.__getitem__
+            )
+        agent_index.register(event_id.seq, handle)
         self._num_chars += op.length
         previous = self._cum_inserts[-1] if self._cum_inserts else 0
         self._cum_inserts.append(previous + (op.length if op.is_insert else 0))
-        for p in parent_indices:
-            self._children[p].append(index)
+        for ph in parent_handles:
+            self._h_children[ph].append(handle)
         # Maintain the frontier incrementally: the new event replaces any of
         # its parents that were frontier members, and is itself a frontier
         # member (nothing can be its child yet).
-        parent_set = set(parent_indices)
-        self._frontier = [f for f in self._frontier if f not in parent_set]
-        self._frontier.append(index)
+        if parent_handles:
+            parent_set = set(parent_handles)
+            self._frontier = [f for f in self._frontier if f not in parent_set]
+        self._frontier.append(handle)
         expected = self._next_seq.get(event_id.agent, 0)
         if event_id.seq + op.length > expected:
             self._next_seq[event_id.agent] = event_id.seq + op.length
@@ -349,28 +507,31 @@ class EventGraph:
         event in local order): the new characters depend on everything, which
         is exactly what "continuing the run" means.
         """
-        event = self._events[index]
-        if self._frontier != [index]:
+        handle = self._order[index]
+        if self._frontier != [handle]:
             raise ValueError("only the sole frontier run can be extended in place")
-        if self._next_seq.get(event.id.agent, 0) != event.end_seq:
+        event_id = self._h_id[handle]
+        old = self._h_op[handle]
+        if self._next_seq.get(event_id.agent, 0) != event_id.seq + old.length:
             raise ValueError("cannot extend a run that is not the agent's latest")
-        old = event.op
         if old.kind is not op.kind:
             raise ValueError("cannot extend a run with an operation of another kind")
         if op.is_insert:
             if op.pos != old.pos + old.length:
                 raise ValueError("insert does not continue the run")
-            event.op = insert_op(old.pos, old.content + op.content)
+            new_op = insert_op(old.pos, old.content + op.content)
         else:
             if op.pos != old.pos:
                 raise ValueError("delete does not continue the run")
-            event.op = delete_op(old.pos, old.length + op.length)
+            new_op = delete_op(old.pos, old.length + op.length)
+        self._h_op[handle] = new_op
+        self._h_len[handle] = new_op.length
         self._num_chars += op.length
         if op.is_insert:
             self._cum_inserts[index] += op.length  # the sole frontier run is last
-        self._next_seq[event.id.agent] = event.end_seq
+        self._next_seq[event_id.agent] = event_id.seq + new_op.length
         self._notify("event_extended", index, op.length)
-        return event
+        return self._h_view[handle]
 
     def add_local_event(self, agent: str, op: Operation) -> Event:
         """Add a run event generated locally by ``agent``.
@@ -384,61 +545,94 @@ class EventGraph:
     def split_event(self, index: int, offset: int) -> Event:
         """Split the run event at ``index`` in place, before character ``offset``.
 
-        The event keeps its first ``offset`` characters; the remainder becomes
-        a new event inserted directly after it (at ``index + 1``) whose sole
-        parent is the left half — exactly the chaining
-        :func:`expand_to_chars` produces, so the split is semantically a
-        no-op.  All later local indices shift up by one, and every existing
-        parent reference to the original event is rewritten to the right half
-        (a dependency on a whole run is a dependency on its last character,
-        which now lives in the right half and implies the left transitively).
+        The event keeps its first ``offset`` characters (and its handle); the
+        remainder becomes a new event inserted directly after it (at
+        ``index + 1``) whose sole parent is the left half — exactly the
+        chaining :func:`expand_to_chars` produces, so the split is
+        semantically a no-op.  Every existing parent reference to the
+        original event is rewritten to the right half (a dependency on a
+        whole run is a dependency on its last character, which now lives in
+        the right half and implies the left transitively).
 
-        Returns the right half.  O(n) in the number of events; splits only
-        happen when interoperating with a peer that carved runs differently,
-        never on the local editing path.
+        Returns the right half.  O(log n + children of the split run) Python
+        work: the right half's order label is bisected between its
+        neighbours, the split run's children (found via the child column)
+        have one parent handle rewritten, and the parents-as-indices caches
+        are invalidated wholesale by a generation bump.  The only O(n)
+        residue is a pair of C-level array inserts into the order.  Splits
+        only happen when interoperating with a peer that carved runs
+        differently, never on the local editing path.
         """
-        event = self._events[index]
-        op = event.op
+        left = self._order[index]
+        op = self._h_op[left]
         if offset <= 0 or offset >= op.length:
             raise ValueError(f"cannot split a run of length {op.length} at {offset}")
-        right = Event(
-            index=index + 1,
-            id=event.id.advance(offset),
-            parents=(index,),
-            op=op.slice(offset, op.length - offset),
-        )
-        event.op = op.slice(0, offset)
-        self._events.insert(index + 1, right)
-        for later in self._events[index + 2 :]:
-            later.index += 1
-            later.parents = tuple(
-                index + 1 if p == index else (p + 1 if p > index else p)
-                for p in later.parents
+
+        label = self._split_label(index)
+        right = len(self._h_id)
+        right_op = op.slice(offset, op.length - offset)
+        self._h_id.append(self._h_id[left].advance(offset))
+        self._h_agent.append(self._h_agent[left])
+        self._h_seq.append(self._h_seq[left] + offset)
+        self._h_len.append(right_op.length)
+        self._h_op.append(right_op)
+        self._h_parents.append((left,))
+        self._h_label.append(label)
+        view = Event(self, right)
+        self._h_view.append(view)
+
+        self._h_op[left] = op.slice(0, offset)
+        self._h_len[left] = offset
+
+        # Children who depended on the whole run now depend on the right
+        # half; the left half's only child is the right half.  Handles are
+        # rewritten via the child column — no scan over the graph.
+        moved = self._h_children[left]
+        self._h_children.append(moved)
+        self._h_children[left] = [right]
+        for child in moved:
+            self._h_parents[child] = tuple(
+                right if p == left else p for p in self._h_parents[child]
             )
-        # Children: values > index shift up; the original event's children
-        # (who depended on the whole run) move to the right half, and the
-        # left half's only child is the right half.
-        shifted = [
-            [c + 1 if c > index else c for c in children] for children in self._children
-        ]
-        right_children = shifted[index]
-        shifted[index] = [index + 1]
-        shifted.insert(index + 1, right_children)
-        self._children = shifted
-        self._frontier = [
-            index + 1 if f == index else (f + 1 if f > index else f)
-            for f in self._frontier
-        ]
+        # Invalidate the parents-as-indices caches (positions after the split
+        # shift, and references to the split run change identity); the right
+        # half's fresh cache entry is exact.
+        self._gen += 1
+        self._h_pidx.append((index,))
+        self._h_pgen.append(self._gen)
+
+        self._order.insert(index + 1, right)
+        self._labels.insert(index + 1, label)
+        # A frontier entry for the whole run moves to the right half.
+        self._frontier = [right if f == left else f for f in self._frontier]
         # Cumulative insert counts: the left half's running total drops by the
         # right half's inserted chars; every later entry keeps its value (the
         # totals are unchanged, only the positions shift by one).
-        right_inserts = right.op.length if right.op.is_insert else 0
+        right_inserts = right_op.length if right_op.is_insert else 0
         self._cum_inserts.insert(index, self._cum_inserts[index] - right_inserts)
         # The id range map refines: the left entry now covers less (its
         # length is consulted live) and the right half gets its own entry.
-        self._agent_index[event.id.agent].register(right.id.seq, right)
+        self._agent_index[self._h_id[right].agent].register(self._h_seq[right], right)
         self._notify("event_split", index)
-        return right
+        return view
+
+    def _split_label(self, index: int) -> int:
+        """An order label strictly between positions ``index`` and
+        ``index + 1``, re-spreading the label space if the gap is exhausted
+        (needs ~20 splits between the same two events; O(n) then, amortised
+        away)."""
+        labels = self._labels
+        left = labels[index]
+        right = labels[index + 1] if index + 1 < len(labels) else left + 2 * _LABEL_GAP
+        label = (left + right) // 2
+        if label == left:
+            h_label = self._h_label
+            for pos, handle in enumerate(self._order):
+                h_label[handle] = pos * _LABEL_GAP
+            self._labels = [pos * _LABEL_GAP for pos in range(len(self._order))]
+            left = self._labels[index]
+            label = left + _LABEL_GAP // 2
+        return label
 
     def dependency_id(self, index: int) -> EventId:
         """Id of the *last* character of the event at ``index``.
@@ -448,8 +642,8 @@ class EventGraph:
         event ending at that character, preserving exactly the intended causal
         coverage (a first-character id would under-specify it).
         """
-        event = self._events[index]
-        return event.id.advance(event.op.length - 1)
+        handle = self._order[index]
+        return self._h_id[handle].advance(self._h_len[handle] - 1)
 
     def dependency_index(self, event_id: EventId) -> int:
         """Index of the event covering ids *up to and including* ``event_id``.
@@ -459,8 +653,12 @@ class EventGraph:
         — the peer that emitted the reference did not causally depend on the
         rest of the run.  Raises :class:`KeyError` if the id is unknown.
         """
-        index, offset = self.locate(event_id)
-        if offset + 1 < self._events[index].op.length:
+        found = self._locate_handle(event_id)
+        if found is None:
+            raise KeyError(f"event id {event_id} not in graph")
+        handle, offset = found
+        index = self.index_of_handle(handle)
+        if offset + 1 < self._h_len[handle]:
             self.split_event(index, offset + 1)
         return index
 
@@ -489,13 +687,12 @@ class EventGraph:
         seq = event_id.seq
         end = event_id.seq + op.length
         while seq < end:
-            located = self._locate(EventId(agent, seq))
+            located = self._locate_handle(EventId(agent, seq))
             if located is not None:
-                stored_index, stored_offset = located
-                stored = self._events[stored_index]
-                span = min(stored.op.length - stored_offset, end - seq)
+                stored_handle, stored_offset = located
+                span = min(self._h_len[stored_handle] - stored_offset, end - seq)
                 self._verify_overlap(
-                    stored, stored_offset, op, seq - event_id.seq, span, event_id
+                    stored_handle, stored_offset, op, seq - event_id.seq, span, event_id
                 )
                 seq += span
                 continue
@@ -507,8 +704,11 @@ class EventGraph:
             offset = seq - event_id.seq
             if offset == 0:
                 if parent_events is None:
+                    # Resolve to Event views first: each dependency_index call
+                    # may split a stored run, shifting later indices (the
+                    # views' .index stays live).
                     parent_events = [
-                        self._events[self.dependency_index(p)] for p in parent_ids
+                        self[self.dependency_index(p)] for p in parent_ids
                     ]
                 parent_indices: Iterable[int] = {e.index for e in parent_events}
             else:
@@ -526,7 +726,7 @@ class EventGraph:
 
     def _verify_overlap(
         self,
-        stored: Event,
+        stored_handle: int,
         stored_offset: int,
         op: Operation,
         op_offset: int,
@@ -534,7 +734,7 @@ class EventGraph:
         event_id: EventId,
     ) -> None:
         """Check that stored coverage agrees with an incoming run's sub-span."""
-        stored_op = stored.op
+        stored_op = self._h_op[stored_handle]
         same = stored_op.kind is op.kind
         if same and op.is_insert:
             same = (
@@ -547,7 +747,8 @@ class EventGraph:
         if not same:
             raise ValueError(
                 f"remote event {event_id}+{op.length} conflicts with stored run "
-                f"{stored.id}+{stored_op.length}: same ids, different content"
+                f"{self._h_id[stored_handle]}+{stored_op.length}: same ids, "
+                f"different content"
             )
 
     def add_remote_event(
@@ -603,9 +804,12 @@ class EventGraph:
         for agent, seq, length in spans:
             end = seq + length
             while seq < end:
-                index, offset = self.locate(EventId(agent, seq))
-                indices.add(index)
-                seq += self._events[index].op.length - offset
+                found = self._locate_handle(EventId(agent, seq))
+                if found is None:
+                    raise KeyError(f"event id {agent}:{seq} not in graph")
+                handle, offset = found
+                indices.add(self.index_of_handle(handle))
+                seq += self._h_len[handle] - offset
         return sorted(indices)
 
     # ------------------------------------------------------------------
@@ -628,7 +832,7 @@ class EventGraph:
 
     def is_valid_version(self, version: Version) -> bool:
         """Check that ``version`` only references events present in the graph."""
-        return all(0 <= i < len(self._events) for i in version)
+        return all(0 <= i < len(self._order) for i in version)
 
     def summary(self) -> dict[str, int]:
         """Cheap summary statistics used by the trace tooling.
@@ -636,18 +840,16 @@ class EventGraph:
         ``events`` counts run events; ``inserts`` / ``deletes`` / ``chars``
         count characters, so they are invariant under run-length encoding.
         """
-        inserted = sum(e.op.length for e in self._events if e.op.is_insert)
+        inserted = sum(
+            self._h_len[h] for h in self._order if self._h_op[h].is_insert
+        )
         return {
-            "events": len(self._events),
+            "events": len(self._order),
             "chars": self._num_chars,
             "inserts": inserted,
             "deletes": self._num_chars - inserted,
             "agents": len(self._next_seq),
         }
-
-
-def _event_length(event: Event) -> int:
-    return event.op.length
 
 
 def expand_to_chars(graph: EventGraph) -> EventGraph:

@@ -54,6 +54,8 @@ class EventId(NamedTuple):
 
     def advance(self, offset: int) -> "EventId":
         """The id ``offset`` characters into the run starting at this id."""
+        if offset == 0:
+            return self
         return EventId(self.agent, self.seq + offset)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -126,6 +128,8 @@ class Operation:
         """
         if offset < 0 or length < 1 or offset + length > self.length:
             raise IndexError(f"slice {offset}+{length} out of range for {self}")
+        if offset == 0 and length == self.length:
+            return self  # immutable, so the whole-run slice needs no copy
         if self.kind is OpKind.INSERT:
             return Operation(
                 OpKind.INSERT, self.pos + offset, self.content[offset : offset + length]

@@ -25,11 +25,17 @@ lifetime, and the engine maintains everything a merge needs *incrementally*:
   never touched (§3.5's transform-free case, done without even computing a
   replay order);
 * when concurrency *is* in play, the walker's internal state stays resident
-  between merges (a :class:`WalkerCheckpoint`): as long as no new critical
-  version has formed, the next merge retreats/advances/applies only the new
-  events against the live state instead of re-replaying the whole post-cut
-  window.  The checkpoint is dropped the moment the tracker reports a new
-  critical version, which keeps steady-state memory at just the text (§3.5).
+  between merges (a :class:`WalkerCheckpoint`): the next merge
+  retreats/advances/applies only the new events against the live state
+  instead of re-replaying the whole post-cut window.  Interop splits and
+  in-place run extensions are folded into the resident state surgically
+  (``checkpoints_patched``) rather than invalidating it.  The checkpoint is
+  dropped only once a new critical version has *survived* subsequent
+  deliveries (observed as the replay base advancing at the next merge, or a
+  sequential run taking the fast path): a cut that merely forms at a batch's
+  tail is routinely un-made by the next concurrent delivery, and dropping on
+  it would force a full-window re-replay per delivery.  Once an episode
+  really closes, memory returns to just the text (§3.5).
 
 Per-merge cost, for a history of N events, a post-cut window of W events and
 a batch of k new events:
@@ -97,6 +103,11 @@ class MergeEngineStats:
     #: events) invalidated it, returning the replica to text-only memory.
     checkpoints_kept: int = 0
     checkpoints_dropped: int = 0
+    #: Checkpoints surgically patched in place instead of dropped: interop
+    #: splits and in-place run extensions landing inside the resident window
+    #: are folded into the live state (see the listener hooks), so a
+    #: concurrent episode survives re-carvings without re-replaying it.
+    checkpoints_patched: int = 0
     #: O(history) bookkeeping — incremental engine keeps all three at 0.
     order_events_materialised: int = 0
     cut_scan_events: int = 0
@@ -182,6 +193,12 @@ class MergeEngine:
         #: causal-graph view update in place, so there is nothing to rebuild.
         self.walker = EgWalker(oplog.graph, **self._walker_options)
         self._ckpt: WalkerCheckpoint | None = None
+        #: Version -> replay-base cut memo for :meth:`_history_cut`, tagged
+        #: with the graph length it was computed at.  Any append or split
+        #: changes the length (and may re-point local indices or un-make
+        #: cuts), which discards the whole memo; in-place extensions change
+        #: neither indices nor cuts, so the memo survives them.
+        self._history_cut_memo: tuple[int, dict[Version, int | None]] = (-1, {})
         if incremental:
             self.tracker: CriticalCutTracker | None = CriticalCutTracker(oplog.graph)
             oplog.graph.add_listener(self)
@@ -194,43 +211,84 @@ class MergeEngine:
     def event_split(self, index: int) -> None:
         """An interop re-carving split the run at ``index`` in place.
 
-        Called by the event graph (listener hook).  Drops the resident
-        checkpoint if the split lands inside the window it covers (its
-        per-event bookkeeping is keyed by the pre-split run), or re-indexes
-        the checkpoint's tracked positions if the split lands below its base.
-        O(checkpoint prepare-version heads).
+        Called by the event graph (listener hook).  A split is a semantic
+        no-op and the state's records are keyed by character ids (which a
+        split never changes), so the resident checkpoint is *patched*, never
+        dropped:
+
+        * split inside the covered window: only the per-event bookkeeping is
+          re-keyed — a delete run's target list is cut at the split boundary
+          (:meth:`InternalState.split_delete_targets`); insert runs need
+          nothing (their spans split lazily on demand).  Tracked positions at
+          or above the split shift up by one.
+        * split at or below the base: no state is involved; just re-index the
+          tracked positions.
+        * split above ``through``: the state does not cover the run; nothing
+          to do.
+
+        O(checkpoint prepare-version heads + split run's target spans).
         """
         ckpt = self._ckpt
         if ckpt is None:
             return
         base = -1 if ckpt.base_cut is None else ckpt.base_cut
-        if base < index < ckpt.through:
-            # The split run is folded into the live state; its per-event
-            # bookkeeping (delete targets, retreat/advance spans) is keyed by
-            # the pre-split event, so the state can no longer be resumed.
-            self._drop_checkpoint()
+        if index >= ckpt.through:
             return
-        if index <= base:
-            # A split below the base shifts every tracked index up by one; a
-            # version naming the whole split run now names its right half.
+        if base < index:
+            # The split run is folded into the live state.  Its records stay
+            # valid verbatim; a delete run's retreat/advance bookkeeping is
+            # keyed by the event's first-char id, so it is re-keyed under the
+            # two halves' ids.
+            graph = self.oplog.graph
+            left = graph[index]
+            if left.op.is_delete:
+                ckpt.state.split_delete_targets(left.id, left.op.length)
+            self.stats.checkpoints_patched += 1
+        else:
             ckpt.base_cut = base + 1
-            ckpt.through += 1
-            ckpt.prepare_version = tuple(
-                p + 1 if p >= index else p for p in ckpt.prepare_version
-            )
-        # index >= ckpt.through: the split only touches events the state does
-        # not cover; nothing tracked by the checkpoint shifts.
+        # Tracked positions at or above the split shift up by one; a version
+        # naming the whole split run now names its right half (which implies
+        # the left transitively).
+        ckpt.through += 1
+        ckpt.prepare_version = tuple(
+            p + 1 if p >= index else p for p in ckpt.prepare_version
+        )
 
     def event_extended(self, index: int, added_length: int) -> None:
         """The frontier run grew in place (sender-side coalescing).
 
-        Listener hook; drops the resident checkpoint when the extended run is
-        one the checkpoint's state covers (the state's span bookkeeping for
-        that run no longer matches the event).  O(1).
+        Listener hook.  When the checkpoint's prepare version is exactly the
+        extended run — the common live-typing shape: the local user keeps
+        typing at the sole frontier head while remote concurrency is resident
+        — the continuation is folded straight into the live state
+        (:meth:`InternalState.apply_insert` of the run's next characters /
+        :meth:`InternalState.extend_delete`), which is indistinguishable from
+        the run having been applied at its full length: the sole-frontier
+        precondition of :meth:`EventGraph.extend_event` guarantees no other
+        event was prepared after the run, so origins and positions are
+        unaffected.  The document text was already updated by the local-edit
+        path, so only the state needs the fold.
+
+        If retreats are active (the prepare version is not the extended run
+        alone), the state cannot absorb the continuation in place and the
+        checkpoint is dropped — the rare case.  O(1) + O(spans folded).
         """
         ckpt = self._ckpt
-        if ckpt is not None and index < ckpt.through:
+        if ckpt is None or index >= ckpt.through:
+            return
+        if ckpt.prepare_version != (index,):
             self._drop_checkpoint()
+            return
+        event = self.oplog.graph[index]
+        op = event.op  # already extended; recover the pre-extension length
+        old_length = op.length - added_length
+        if op.is_insert:
+            ckpt.state.apply_insert(
+                event.id.advance(old_length), op.pos + old_length, added_length
+            )
+        else:
+            ckpt.state.extend_delete(event.id, op.pos, added_length)
+        self.stats.checkpoints_patched += 1
 
     # ------------------------------------------------------------------
     # The merge entry point
@@ -316,11 +374,6 @@ class MergeEngine:
         replay_start = 0 if cut is None else cut + 1
 
         ckpt = self._ckpt
-        latest = tracker.latest_cut()
-        # Keep the state after this merge only if the new events created no
-        # critical version (otherwise everything before the cut will never be
-        # retreated again and text-only memory suffices, §3.5).
-        keep_state = latest == cut
 
         if ckpt is not None and ckpt.base_cut == cut and ckpt.through <= first_new:
             # Resume: the live state already covers the window up to
@@ -340,17 +393,22 @@ class MergeEngine:
             stats.resumed_merges += 1
             stats.replayed_window_events += len(gap)
             stats.last_merge_events_touched = len(gap) + len(new_events)
-            if keep_state:
-                ckpt.prepare_version = result.prepare_version
-                ckpt.through = n
-                stats.checkpoints_kept += 1
-            else:
-                self._drop_checkpoint()
+            ckpt.prepare_version = result.prepare_version
+            ckpt.through = n
+            stats.checkpoints_kept += 1
         else:
             # Fresh window replay from the critical cut (§3.6).  The old
             # window is replayed silently to rebuild the state the new events
             # need; it is kept resident afterwards so the *next* merge in
-            # this concurrent episode costs only its own new events.
+            # this concurrent episode costs only its own new events.  Only
+            # reaching this branch drops a previous checkpoint: the replay
+            # base advancing past its ``base_cut`` means a critical version
+            # *survived* the deliveries since the last merge, so the events
+            # it covers really are final (§3.5).  A cut that merely formed at
+            # a batch's tail proves nothing — the next concurrent delivery
+            # routinely reaches behind it and un-makes it, and dropping
+            # eagerly on such transient cuts forces a full-window re-replay
+            # per delivery on ping-pong concurrent sessions.
             if ckpt is not None:
                 self._drop_checkpoint()
             old_range = list(range(replay_start, first_new))
@@ -366,23 +424,21 @@ class MergeEngine:
                 base_doc_length=len(self.rope) + deletes_in_old,
                 order=order,
                 emit_only=set(new_events),
-                # With a resident state ahead, walker-internal clearing would
-                # leave the state representing only a suffix of the window;
-                # when the state will be dropped anyway, let the walker use
-                # its window-local clearing fast paths.
-                clearing=False if keep_state else None,
+                # The state stays resident, so walker-internal clearing
+                # (which would leave it representing only a window suffix)
+                # is disabled.
+                clearing=False,
             )
             stats.fresh_replays += 1
             stats.replayed_window_events += len(old_range)
             stats.last_merge_events_touched = len(old_range) + len(new_events)
-            if keep_state:
-                self._ckpt = WalkerCheckpoint(
-                    state=result.state,
-                    prepare_version=result.prepare_version,
-                    base_cut=cut,
-                    through=n,
-                )
-                stats.checkpoints_kept += 1
+            self._ckpt = WalkerCheckpoint(
+                state=result.state,
+                prepare_version=result.prepare_version,
+                base_cut=cut,
+                through=n,
+            )
+            stats.checkpoints_kept += 1
 
         stats.replayed_new_events += len(new_events)
         ops = coalesce_ops(op for entry in result.transformed for op in entry.ops)
@@ -452,13 +508,25 @@ class MergeEngine:
         lookup trivial: any cut ``c <= max(version)`` is an ancestor of
         ``max(version)`` (every event after a cut depends on it), hence
         contained — so the answer is a single binary search over the tracked
-        cuts, O(log cuts).  ``None`` (replay from the root) when no cut
-        qualifies or on the legacy engine (``incremental=False``), which
-        keeps full-history replays as its ablation behaviour.
+        cuts, O(log cuts), memoised per version while the graph is unchanged
+        (history browsing hits the same versions repeatedly — ``text_at``
+        then ``diff`` then ``events_between`` — and each hit is an O(1) dict
+        lookup on the version tuple).  ``None`` (replay from the root) when
+        no cut qualifies or on the legacy engine (``incremental=False``),
+        which keeps full-history replays as its ablation behaviour.
         """
         if not version or self.tracker is None:
             return None
-        return self.tracker.latest_cut_before(version[-1] + 1)
+        n = len(self.oplog.graph)
+        memo_n, memo = self._history_cut_memo
+        if memo_n != n:
+            memo = {}
+            self._history_cut_memo = (n, memo)
+        if version in memo:
+            return memo[version]
+        cut = self.tracker.latest_cut_before(version[-1] + 1)
+        memo[version] = cut
+        return cut
 
     # ------------------------------------------------------------------
     # Legacy rebuild path (the ablation baseline)

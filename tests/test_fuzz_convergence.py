@@ -37,6 +37,14 @@ the saved text exactly, must agree with the per-character oracle, saved
 handles must round-trip through the storage codec, and ``diff`` between a
 replica's consecutive saves must transform one saved text into the next.
 
+Each session also checks **handle stability** of the columnar event graph:
+random :class:`Event` views saved mid-session must still be the live
+singleton for their position at the end (same object, same id, same
+handle), the handle indirection must stay an exact inverse of the local
+order, order labels must remain strictly increasing through every split,
+and — for incremental sessions — the handle-keyed critical-cut tracker
+must agree with a from-scratch :func:`critical_cut_positions` rebuild.
+
 Everything is seeded and deterministic: session ``i`` uses
 ``random.Random(BASE_SEED + i)``.  The iteration count comes from the
 ``--fuzz-iterations`` pytest option (tests/conftest.py); CI runs a fixed
@@ -47,6 +55,7 @@ from __future__ import annotations
 
 import random
 
+from repro.core.critical_versions import critical_cut_positions
 from repro.core.document import Document
 from repro.core.event_graph import expand_to_chars
 from repro.core.oplog import recarve_events
@@ -112,6 +121,8 @@ def run_session(
     partitioned: set[frozenset[str]] = set()
     #: Version-stability snapshots: (replica name, saved handle, saved text).
     saved_versions: list[tuple[str, Version, str]] = []
+    #: Handle-stability snapshots: (replica name, Event view, id, handle).
+    saved_events: list[tuple[str, object, object, int]] = []
 
     for _ in range(steps):
         roll = rng.random()
@@ -120,6 +131,10 @@ def run_session(
             saved_versions.append(
                 (replica.name, replica.document.version(), replica.text)
             )
+        graph = replica.document.oplog.graph
+        if len(saved_events) < 8 and len(graph) and rng.random() < 0.2:
+            view = graph[rng.randrange(len(graph))]
+            saved_events.append((replica.name, view, view.id, view.handle))
         if roll < 0.45 or not replica.text:
             pos = rng.randint(0, len(replica.text))
             length = rng.randint(1, 6)
@@ -206,6 +221,42 @@ def run_session(
             assert apply_ops(t1, document.diff(v1, v2)) == t2, (
                 f"diff between saved versions does not transform the saved "
                 f"texts into each other ({context}, owner {owner})"
+            )
+
+    # --- handle stability: saved Event views never renumber or go stale ----
+    for owner, view, saved_id, saved_handle in saved_events:
+        graph = sim.replicas[owner].document.oplog.graph
+        # The view is still the live singleton for its (current) position;
+        # its id and handle never changed, even if the run was split (the
+        # left half keeps both) or extended in place.
+        assert graph[view.index] is view, (
+            f"saved Event view is no longer the singleton at its index ({context})"
+        )
+        assert view.id == saved_id and view.handle == saved_handle, (
+            f"saved Event view changed id or handle ({context}, owner {owner})"
+        )
+        assert graph.handle_at(view.index) == saved_handle, (
+            f"handle_at disagrees with the saved handle ({context})"
+        )
+        assert graph.index_of_handle(saved_handle) == view.index, (
+            f"index_of_handle is not the inverse of handle_at ({context})"
+        )
+        assert graph.locate(saved_id) == (view.index, 0), (
+            f"the saved run's first character moved off its event ({context})"
+        )
+    for name in all_names:
+        graph = sim.replicas[name].document.oplog.graph
+        keys = [graph.order_key(graph.handle_at(i)) for i in range(len(graph))]
+        assert keys == sorted(keys) and len(set(keys)) == len(keys), (
+            f"order labels are not strictly increasing ({context}, {name})"
+        )
+        if incremental:
+            tracker = sim.replicas[name].document.engine.tracker
+            assert tracker.cuts() == sorted(
+                critical_cut_positions(graph, range(len(graph)))
+            ), (
+                f"handle-keyed cut tracker disagrees with a from-scratch "
+                f"rebuild ({context}, {name})"
             )
 
     # Saved handles survive a storage round trip of the event graph.

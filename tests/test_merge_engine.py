@@ -289,7 +289,7 @@ class TestResidentState:
         # Work = the local gap event + the one new remote event.
         assert stats.last_merge_events_touched <= 3
 
-    def test_checkpoint_dropped_when_critical_version_forms(self):
+    def test_checkpoint_dropped_when_critical_version_survives(self):
         alice = Document("alice")
         bob = Document("bob")
         alice.insert(0, "base ")
@@ -299,14 +299,22 @@ class TestResidentState:
         bob.merge(alice)
         assert bob.engine.has_resident_state
         # Alice sees everything of bob, then types: her next event dominates
-        # all heads, forming a critical version — bob returns to text-only.
+        # all heads, forming a critical version.  The checkpoint survives
+        # this merge — a cut at a batch's tail is routinely un-made by the
+        # next concurrent delivery, so the engine only trusts a cut that has
+        # survived one.
         alice.merge(bob)
         alice.insert(0, "sync ")
+        bob.merge(alice)
+        assert bob.engine.has_resident_state
+        # The next sequential delivery rides the fast path across the
+        # surviving cut, returning bob to text-only memory (§3.5).
+        alice.insert(0, "more ")
         bob.merge(alice)
         assert not bob.engine.has_resident_state
         assert bob.engine.resident_record_count() == 0
         bob.merge(alice)  # idempotent no-op merge stays clean
-        assert bob.text.startswith("sync ")
+        assert bob.text.startswith("more sync ")
         assert alice.merge(bob) == [] and alice.text == bob.text
 
     def test_resumed_merges_converge_with_legacy_and_oracle(self):
