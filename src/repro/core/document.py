@@ -127,14 +127,19 @@ class Document:
         return self.oplog.local_version
 
     def remote_version(self) -> tuple[EventId, ...]:
-        """Deprecated: use :meth:`version` (its ``.ids`` are these ids)."""
+        """Deprecated: use :meth:`version` (its ``.ids`` are these ids).
+
+        Forwards to the :class:`~repro.history.Version` handle so the shim
+        can never drift from the canonical API: the returned ids are exactly
+        ``Document.version().ids`` (sorted, deduplicated).
+        """
         warnings.warn(
             "Document.remote_version() is deprecated; use Document.version() "
             "(a repro.history.Version; its .ids field carries the event ids)",
             DeprecationWarning,
             stacklevel=2,
         )
-        return self.oplog.remote_version()
+        return self.version().ids
 
     # ------------------------------------------------------------------
     # Local editing

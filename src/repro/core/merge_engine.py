@@ -131,6 +131,12 @@ class MergeEngineStats:
     #: (concurrent or backwards pairs): answered by a character-level text
     #: diff instead of the walker.
     history_text_diffs: int = 0
+    #: Text diffs whose inputs exceeded the quadratic-cost limit and went
+    #: through the prefix/suffix-trimming length guard (see
+    #: ``repro.history.history.QUADRATIC_DIFF_LIMIT``) instead of raw
+    #: difflib — keeps a server-side diff request from pinning the event
+    #: loop on two long concurrent texts.
+    history_diff_guards: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__dataclass_fields__}

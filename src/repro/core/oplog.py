@@ -15,6 +15,7 @@ whole point of Eg-walker: in the steady state only the plain text and the
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -248,9 +249,10 @@ class OpLog:
 
     @property
     def version(self) -> Version:
-        """Deprecated alias of :attr:`local_version` (index-based)."""
-        import warnings
+        """Deprecated alias of :attr:`local_version` (index-based).
 
+        Forwards to :attr:`local_version` so the two can never disagree.
+        """
         warnings.warn(
             "OpLog.version is deprecated; use OpLog.local_version (local "
             "indices) or OpLog.remote_version() / Document.version() (stable "
@@ -258,7 +260,7 @@ class OpLog:
             DeprecationWarning,
             stacklevel=2,
         )
-        return self.graph.frontier
+        return self.local_version
 
     def __len__(self) -> int:
         return len(self.graph)

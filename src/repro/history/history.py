@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING, Sequence
 from ..core.causal_graph import CausalGraph
 from ..core.event_graph import EventGraph
 from ..core.ids import Operation, delete_op, insert_op
-from ..core.merge_engine import MergeEngine
+from ..core.merge_engine import MergeEngine, MergeEngineStats
 from ..core.oplog import OpLog
 from .version import Version
 
@@ -269,7 +269,7 @@ class History:
         if self.causal.compare_versions(ia, ib) == "before":
             return self.engine.history_ops(ia, ib)
         self.engine.stats.history_text_diffs += 1
-        return _text_diff(self.text_at(a), self.text_at(b))
+        return _text_diff(self.text_at(a), self.text_at(b), stats=self.engine.stats)
 
     def checkout(self, version: Version, *, agent: str | None = None) -> "Document":
         """Materialise ``version`` as a fresh, independent :class:`Document`.
@@ -316,14 +316,62 @@ class History:
         return doc
 
 
-def _text_diff(a: str, b: str) -> list[Operation]:
+#: Above this many character pairs (``len(a) * len(b)``) the quadratic
+#: ``SequenceMatcher`` fallback is guarded: the inputs are first trimmed to
+#: the region between their common prefix and suffix (linear), and only the
+#: trimmed middles go through difflib.  Without the guard a single
+#: server-side diff/checkout request over two long concurrent texts could pin
+#: an event loop for seconds.
+QUADRATIC_DIFF_LIMIT = 1 << 20
+
+
+def _trim_common_affixes(a: str, b: str) -> tuple[int, int]:
+    """Lengths of the longest common prefix and suffix of ``a`` and ``b``
+    (non-overlapping: prefix wins ties).  O(len(a) + len(b))."""
+    limit = min(len(a), len(b))
+    prefix = 0
+    while prefix < limit and a[prefix] == b[prefix]:
+        prefix += 1
+    suffix = 0
+    while suffix < limit - prefix and a[-1 - suffix] == b[-1 - suffix]:
+        suffix += 1
+    return prefix, suffix
+
+
+def _text_diff(a: str, b: str, *, stats: "MergeEngineStats | None" = None) -> list[Operation]:
     """A minimal-ish edit script from ``a`` to ``b`` (difflib opcodes).
 
     Used for version pairs with no replayable event set between them
     (concurrent or backwards).  The returned operations apply in order:
     positions account for the shifts earlier operations introduce.
+
+    ``SequenceMatcher`` is O(|a|·|b|); above :data:`QUADRATIC_DIFF_LIMIT`
+    character pairs a length guard kicks in (counted in
+    ``MergeEngineStats.history_diff_guards``): the common prefix and suffix
+    are trimmed off first — concurrent versions of one document share most of
+    their text, so this usually collapses the quadratic part to the small
+    disputed middle — and if even the trimmed middles stay over the limit the
+    diff degrades to a coarse replace (one delete + one insert), keeping the
+    cost linear at the price of a non-minimal edit script.
     """
-    ops: list[Operation] = []
+    if len(a) * len(b) > QUADRATIC_DIFF_LIMIT:
+        if stats is not None:
+            stats.history_diff_guards += 1
+        prefix, suffix = _trim_common_affixes(a, b)
+        mid_a = a[prefix : len(a) - suffix]
+        mid_b = b[prefix : len(b) - suffix]
+        if len(mid_a) * len(mid_b) > QUADRATIC_DIFF_LIMIT:
+            ops: list[Operation] = []
+            if mid_a:
+                ops.append(delete_op(prefix, len(mid_a)))
+            if mid_b:
+                ops.append(insert_op(prefix, mid_b))
+            return ops
+        return [
+            Operation(op.kind, op.pos + prefix, op.content, op.length)
+            for op in _text_diff(mid_a, mid_b)
+        ]
+    ops = []
     shift = 0
     matcher = difflib.SequenceMatcher(None, a, b, autojunk=False)
     for tag, i1, i2, j1, j2 in matcher.get_opcodes():

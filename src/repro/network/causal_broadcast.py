@@ -98,10 +98,15 @@ class CausalBuffer:
             spans = self._known[agent] = SpanSet()
         return spans
 
-    def mark_known(self, event_ids: Iterable[EventId]) -> None:
-        """Tell the buffer about single-character ids the replica already has."""
-        for event_id in event_ids:
-            self._known_spans(event_id.agent).add(event_id.seq, 1)
+    def mark_known(self, event_ids: Iterable[EventId]) -> int:
+        """Tell the buffer about single-character ids the replica already has.
+
+        Forwards to :meth:`mark_known_spans`, so buffered events that only
+        waited on the marked ids are flushed (previously they stayed parked
+        until some unrelated delivery touched the same span); returns how
+        many got delivered.
+        """
+        return self.mark_known_spans((event_id, 1) for event_id in event_ids)
 
     def mark_known_spans(self, spans: Iterable[tuple[EventId, int]]) -> int:
         """Tell the buffer about known id runs (locally generated events, or
@@ -150,6 +155,11 @@ class CausalBuffer:
             self.stats.duplicates += 1
             return []
         missing = [p for p in event.parents if not self._knows(p)]
+        if not missing and pending is not None:
+            # A deliverable coarser carving supersedes the buffered finer
+            # one: drop the stale entry now, or it lingers as a phantom
+            # pending event (a leak) until some parent span is re-touched.
+            del self._pending[event.id]
         if missing:
             if pending is not None:
                 # A coarser carving of an already-buffered run (same first

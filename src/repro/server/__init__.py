@@ -1,0 +1,40 @@
+"""Real-time collaboration server (asyncio WebSockets + HTTP long-polling).
+
+This package turns the in-process machinery — :class:`~repro.core.document.Document`,
+``export_since_seq`` suffix deltas and :class:`~repro.network.causal_broadcast.CausalBuffer`
+batch delivery — into a network service:
+
+* :mod:`repro.server.protocol` — the JSON message schema (hello / welcome /
+  delta / presence / error / bye) shared by both transports, with structured
+  rejection of malformed frames.
+* :mod:`repro.server.wire` — a minimal HTTP/1.1 request reader and an RFC 6455
+  WebSocket implementation over asyncio streams (no third-party deps).
+* :mod:`repro.server.session` — per-document rooms and per-connection
+  sessions; every connection owns an outbound :class:`CausalBuffer`, so batch
+  delivery and re-carve-proof dedup work exactly as they do in the simulator.
+* :mod:`repro.server.app` — :class:`CollabServer`, the asyncio server that
+  speaks WebSockets on the fast path and degrades to HTTP long-polling
+  (cursor presence disabled there, like sysreptor's fallback).
+* :mod:`repro.server.loadgen` — a load-generator client that replays
+  trace-suite sessions over real sockets and measures delivery latency.
+
+Run a standalone server with ``python -m repro.server``.
+"""
+
+from .app import CollabServer
+from .loadgen import LoadgenResult, run_loadgen, run_loadgen_sync, run_trace_replay
+from .protocol import ProtocolError, decode_frame, encode_frame
+from .session import DocumentRoom, Session
+
+__all__ = [
+    "CollabServer",
+    "DocumentRoom",
+    "Session",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "LoadgenResult",
+    "run_loadgen",
+    "run_loadgen_sync",
+    "run_trace_replay",
+]

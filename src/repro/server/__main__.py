@@ -1,0 +1,33 @@
+"""Run a standalone collaboration server: ``python -m repro.server``."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from .app import CollabServer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description="repro collaboration server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8760)
+    args = parser.parse_args()
+
+    async def serve() -> None:
+        server = CollabServer(args.host, args.port)
+        await server.start()
+        print(f"serving on ws://{args.host}:{server.port}/v1/ws (Ctrl-C to stop)")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

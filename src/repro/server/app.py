@@ -1,0 +1,351 @@
+"""The collaboration server: WebSockets on the fast path, long-polling as
+fallback.
+
+:class:`CollabServer` listens on one TCP port and routes by request shape:
+
+* ``GET /v1/ws`` with an ``Upgrade: websocket`` header — the fast path.  The
+  first frame must be ``hello``; after that the connection is full duplex:
+  uploaded ``delta``/``presence`` frames feed the room, and a pump task
+  drains the session queue to the socket as frames arrive.
+* ``POST /v1/connect`` / ``POST /v1/send`` / ``GET /v1/poll`` — the HTTP
+  long-polling fallback.  The same session machinery, but frames accumulate
+  on the session queue until the next poll; presence is disabled (the
+  fallback trades cursor liveness for transport simplicity, as production
+  systems do).
+* ``GET /v1/text`` and ``GET /v1/stats`` — read-only introspection used by
+  the load generator's convergence oracle and the leak checks.
+
+A malformed frame is answered with a structured ``error`` frame and the
+connection (or poll exchange) stays usable — a buggy client cannot take down
+its own session, let alone the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from .protocol import (
+    ProtocolError,
+    ack_frame,
+    bye_frame,
+    decode_frame,
+    encode_frame,
+    error_frame,
+)
+from .session import DocumentRoom, Session
+from .wire import (
+    HttpRequest,
+    WebSocketConnection,
+    http_response,
+    read_http_request,
+    server_websocket_handshake,
+)
+
+__all__ = ["CollabServer"]
+
+#: Cap on how long one ``/v1/poll`` request may hang (seconds).
+MAX_POLL_WAIT = 30.0
+
+
+class CollabServer:
+    """An asyncio collaboration server hosting any number of documents.
+
+    Rooms are created on first use: connecting to document ``"notes"``
+    creates a server replica for it.  ``port=0`` (the default) picks an
+    ephemeral port; read :attr:`port` after :meth:`start`.
+
+    Usage::
+
+        server = CollabServer()
+        await server.start()
+        ...  # connect clients to ("127.0.0.1", server.port)
+        await server.stop()
+
+    Also usable as an async context manager.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        document_options: dict | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.document_options = dict(document_options or {})
+        self.rooms: dict[str, DocumentRoom] = {}
+        #: Session id -> (room, session), for poll routing.
+        self._sessions: dict[str, tuple[DocumentRoom, Session]] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "CollabServer":
+        self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        for room in self.rooms.values():
+            for session in list(room.sessions.values()):
+                room.disconnect(session)
+
+    async def __aenter__(self) -> "CollabServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def room(self, name: str) -> DocumentRoom:
+        room = self.rooms.get(name)
+        if room is None:
+            room = self.rooms[name] = DocumentRoom(name, self.document_options)
+        return room
+
+    # ------------------------------------------------------------------
+    # Connection dispatch
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            request = await read_http_request(reader)
+            if request is None:
+                return
+            if request.wants_websocket:
+                await self._serve_websocket(reader, writer, request)
+            else:
+                await self._serve_http(writer, request)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # WebSocket path
+    # ------------------------------------------------------------------
+    async def _serve_websocket(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request: HttpRequest,
+    ) -> None:
+        if not await server_websocket_handshake(writer, request):
+            return
+        ws = WebSocketConnection(reader, writer, mask_outgoing=False)
+        hello = await self._expect_hello(ws)
+        if hello is None:
+            return
+        room = self.room(hello["doc"])
+        session = room.connect(hello["agent"], "ws", hello["version"])
+        self._sessions[session.id] = (room, session)
+        pump = asyncio.create_task(self._pump_session(ws, session))
+        try:
+            while True:
+                text = await ws.recv_text()
+                if text is None:
+                    break
+                try:
+                    frame = decode_frame(text)
+                except ProtocolError as exc:
+                    # Structured rejection; the connection stays up.
+                    session.queue_frame(error_frame(exc.code, exc.reason))
+                    continue
+                if frame["type"] == "delta":
+                    room.receive_delta(session, frame["events"])
+                elif frame["type"] == "presence":
+                    room.receive_presence(session, frame["cursor"])
+                elif frame["type"] == "bye":
+                    session.queue_frame(bye_frame())
+                    break
+                else:
+                    session.queue_frame(
+                        error_frame(
+                            "unexpected-type",
+                            f"{frame['type']!r} frames are server-to-client",
+                        )
+                    )
+        finally:
+            room.disconnect(session)
+            self._sessions.pop(session.id, None)
+            try:
+                # The session is closed, so the pump exits after one final
+                # flush (bye / trailing errors); don't cut that flush short.
+                await asyncio.wait_for(pump, timeout=1.0)
+            except (asyncio.TimeoutError, ConnectionError):
+                pump.cancel()
+                try:
+                    await pump
+                except (asyncio.CancelledError, ConnectionError):
+                    pass
+            await ws.close()
+
+    async def _expect_hello(self, ws: WebSocketConnection) -> dict[str, Any] | None:
+        text = await ws.recv_text()
+        if text is None:
+            return None
+        try:
+            frame = decode_frame(text)
+            if frame["type"] != "hello":
+                raise ProtocolError("hello-required", "first frame must be hello")
+        except ProtocolError as exc:
+            try:
+                await ws.send_text(encode_frame(error_frame(exc.code, exc.reason)))
+            except ConnectionError:
+                pass
+            await ws.close()
+            return None
+        return frame
+
+    async def _pump_session(self, ws: WebSocketConnection, session: Session) -> None:
+        """Drain the session queue to the socket as frames arrive."""
+        try:
+            while not session.closed:
+                frames = await session.wait_for_frames(timeout=30.0)
+                for frame in frames:
+                    await ws.send_text(encode_frame(frame))
+            for frame in session.drain():  # final flush (bye / errors)
+                await ws.send_text(encode_frame(frame))
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception:  # pragma: no cover - defensive; pump must not spin
+            pass
+
+    # ------------------------------------------------------------------
+    # HTTP fallback path
+    # ------------------------------------------------------------------
+    async def _serve_http(self, writer: asyncio.StreamWriter, request: HttpRequest) -> None:
+        handler = {
+            ("POST", "/v1/connect"): self._http_connect,
+            ("POST", "/v1/send"): self._http_send,
+            ("GET", "/v1/poll"): self._http_poll,
+            ("GET", "/v1/text"): self._http_text,
+            ("GET", "/v1/stats"): self._http_stats,
+            ("GET", "/healthz"): self._http_health,
+        }.get((request.method, request.path))
+        if handler is None:
+            response = http_response(
+                404, json.dumps(error_frame("not-found", f"no route {request.method} {request.path}"))
+            )
+        else:
+            response = await handler(request)
+        writer.write(response)
+        await writer.drain()
+
+    async def _http_health(self, request: HttpRequest) -> bytes:
+        return http_response(200, json.dumps({"ok": True, "docs": len(self.rooms)}))
+
+    async def _http_connect(self, request: HttpRequest) -> bytes:
+        try:
+            frame = decode_frame(request.body)
+            if frame["type"] != "hello":
+                raise ProtocolError("hello-required", "connect body must be a hello frame")
+        except ProtocolError as exc:
+            return http_response(400, json.dumps(error_frame(exc.code, exc.reason)))
+        room = self.room(frame["doc"])
+        session = room.connect(frame["agent"], "poll", frame["version"])
+        self._sessions[session.id] = (room, session)
+        return http_response(200, json.dumps({"frames": session.drain()}, default=list))
+
+    def _poll_session(self, request: HttpRequest) -> tuple[DocumentRoom, Session] | None:
+        entry = self._sessions.get(request.query.get("session", ""))
+        if entry is None or entry[1].closed:
+            return None
+        return entry
+
+    async def _http_send(self, request: HttpRequest) -> bytes:
+        entry = self._poll_session(request)
+        if entry is None:
+            return http_response(404, json.dumps(error_frame("unknown-session", "no such session")))
+        room, session = entry
+        try:
+            body = request.json()
+            frames = body.get("frames") if isinstance(body, dict) else None
+            if not isinstance(frames, list):
+                raise ProtocolError("bad-frame", "send body must be {'frames': [...]}")
+            decoded = [decode_frame(json.dumps(f)) for f in frames]
+        except (ValueError, ProtocolError) as exc:
+            code = exc.code if isinstance(exc, ProtocolError) else "bad-json"
+            return http_response(400, json.dumps(error_frame(code, str(exc))))
+        accepted = 0
+        for frame in decoded:
+            if frame["type"] == "delta":
+                room.receive_delta(session, frame["events"])
+                accepted += 1
+            elif frame["type"] == "presence":
+                # Cursor traffic is disabled on the fallback transport; the
+                # update is acknowledged but not recorded or fanned out.
+                continue
+            elif frame["type"] == "bye":
+                room.disconnect(session)
+                self._sessions.pop(session.id, None)
+            else:
+                return http_response(
+                    400,
+                    json.dumps(
+                        error_frame("unexpected-type", f"cannot upload {frame['type']!r} frames")
+                    ),
+                )
+        return http_response(200, json.dumps(ack_frame(accepted)))
+
+    async def _http_poll(self, request: HttpRequest) -> bytes:
+        entry = self._poll_session(request)
+        if entry is None:
+            return http_response(404, json.dumps(error_frame("unknown-session", "no such session")))
+        _, session = entry
+        try:
+            wait = min(float(request.query.get("wait", "25")), MAX_POLL_WAIT)
+        except ValueError:
+            wait = 0.0
+        frames = await session.wait_for_frames(timeout=max(wait, 0.0))
+        return http_response(200, json.dumps({"frames": frames}, default=list))
+
+    async def _http_text(self, request: HttpRequest) -> bytes:
+        doc = request.query.get("doc", "")
+        room = self.rooms.get(doc)
+        if room is None:
+            return http_response(404, json.dumps(error_frame("unknown-doc", f"no document {doc!r}")))
+        return http_response(
+            200,
+            json.dumps(
+                {
+                    "doc": doc,
+                    "text": room.text,
+                    "version": [[a, s] for a, s in room.version().as_tuples()],
+                }
+            ),
+        )
+
+    async def _http_stats(self, request: HttpRequest) -> bytes:
+        doc = request.query.get("doc")
+        if doc:
+            room = self.rooms.get(doc)
+            if room is None:
+                return http_response(
+                    404, json.dumps(error_frame("unknown-doc", f"no document {doc!r}"))
+                )
+            return http_response(200, json.dumps(room.summary()))
+        return http_response(
+            200, json.dumps({"docs": [room.summary() for room in self.rooms.values()]})
+        )

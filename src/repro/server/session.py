@@ -1,0 +1,299 @@
+"""Server-side state: documents as rooms, connections as sessions.
+
+A :class:`DocumentRoom` owns one live server replica
+(:class:`~repro.core.document.Document`) plus an **inbound**
+:class:`~repro.network.causal_broadcast.CausalBuffer`: every delta a client
+uploads goes through the buffer, which re-orders out-of-causal-order arrivals,
+drops duplicates (reconnect replays, however they are re-carved) and hands the
+document one causally ordered batch per upload — the same amortisation the
+network simulator's relay hub enjoys.
+
+Each connection is a :class:`Session` with an **outbound** ``CausalBuffer`` of
+its own, seeded with the spans the client already has (computed from the
+``hello`` version's ancestor closure).  Everything the room ingests is offered
+to every session; a session's buffer dedups what that client already holds —
+its own uploads, catch-up overlap after a reconnect, re-carved duplicates —
+and frames the rest as ``delta`` messages on the session's queue.  The queue
+is transport-agnostic: the WebSocket handler pumps it over the socket, the
+long-poll handler drains it per poll.
+
+Presence (cursors as id-frontier positions) rides the same queues but is only
+delivered to WebSocket sessions: the long-polling fallback skips cursor
+traffic, exactly like sysreptor's production fallback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..core.document import Document
+from ..core.ids import EventId
+from ..core.oplog import RemoteEvent
+from ..history import Version
+from ..network.causal_broadcast import CausalBuffer
+from .protocol import delta_frame, presence_frame, welcome_frame
+
+__all__ = ["Session", "DocumentRoom", "RoomStats"]
+
+#: Idle seconds after which a long-poll session is reaped (a vanished poll
+#: client never says ``bye``; WebSocket sessions die with their socket).
+POLL_SESSION_TIMEOUT = 60.0
+
+_session_counter = itertools.count(1)
+
+
+@dataclass(slots=True)
+class RoomStats:
+    """Counters for one room (exposed via the ``/v1/stats`` endpoint)."""
+
+    events_ingested: int = 0
+    chars_ingested: int = 0
+    deltas_received: int = 0
+    duplicates_dropped: int = 0
+    frames_queued: int = 0
+    presence_updates: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+
+
+class Session:
+    """One client connection (WebSocket or long-polling) to one room.
+
+    Args:
+        room: the owning :class:`DocumentRoom`.
+        agent: the client's replica name (as announced in ``hello``).
+        transport: ``"ws"`` or ``"poll"``; poll sessions are excluded from
+            presence traffic.
+    """
+
+    def __init__(self, room: "DocumentRoom", agent: str, transport: str) -> None:
+        self.id = f"s{next(_session_counter)}"
+        self.room = room
+        self.agent = agent
+        self.transport = transport
+        self.closed = False
+        self.last_seen = time.monotonic()
+        #: Frames waiting for this client, in delivery order.
+        self._queue: list[dict[str, Any]] = []
+        self._wakeup = asyncio.Event()
+        #: Outbound causal buffer: offered every room ingest, delivers (as
+        #: one ``delta`` frame per batch) only what this client is missing.
+        self.outbound = CausalBuffer(deliver_batch=self._queue_delta)
+
+    # ------------------------------------------------------------------
+    @property
+    def wants_presence(self) -> bool:
+        return self.transport == "ws"
+
+    @property
+    def pending_count(self) -> int:
+        """Events parked in the outbound buffer (0 after quiescence)."""
+        return self.outbound.pending_count
+
+    @property
+    def queued_frames(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def seed_known(self, spans: Iterable[tuple[EventId, int]]) -> None:
+        """Mark the spans the client already holds (its ``hello`` version's
+        ancestor closure), so catch-up and live traffic dedup against them."""
+        self.outbound.mark_known_spans(spans)
+
+    def mark_uploaded(self, events: Iterable[RemoteEvent]) -> None:
+        """Record that the client itself sent ``events``: the room's ingest
+        loop will offer them back, and the buffer must treat the echo as
+        already-known (a clean no-op, whatever the carving)."""
+        self.outbound.mark_known_spans((e.id, e.op.length) for e in events)
+
+    def offer_events(self, events: list[RemoteEvent]) -> None:
+        """Offer newly ingested room events; only the genuinely new ones (for
+        this client) are framed and queued."""
+        self.outbound.receive_batch(events)
+
+    def queue_frame(self, frame: dict[str, Any]) -> None:
+        """Queue one non-delta frame (welcome / presence / error / bye)."""
+        self._queue.append(frame)
+        self.room.stats.frames_queued += 1
+        self._wakeup.set()
+
+    def _queue_delta(self, events: list[RemoteEvent]) -> None:
+        self.queue_frame(delta_frame(events))
+
+    # ------------------------------------------------------------------
+    def drain(self) -> list[dict[str, Any]]:
+        """Take every queued frame (long-poll response / WS pump step)."""
+        self.last_seen = time.monotonic()
+        frames = self._queue
+        self._queue = []
+        self._wakeup.clear()
+        return frames
+
+    async def wait_for_frames(self, timeout: float) -> list[dict[str, Any]]:
+        """Wait up to ``timeout`` seconds for frames, then drain.
+
+        Returns an empty list on timeout — the long-poll contract: the client
+        immediately re-polls.
+        """
+        if not self._queue:
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), timeout)
+            except asyncio.TimeoutError:
+                self.last_seen = time.monotonic()
+                return []
+        return self.drain()
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._wakeup.set()
+
+
+class DocumentRoom:
+    """One hosted document plus everything connected to it."""
+
+    def __init__(self, name: str, document_options: dict | None = None) -> None:
+        self.name = name
+        self.document = Document(f"server::{name}", **(document_options or {}))
+        self.sessions: dict[str, Session] = {}
+        #: Last announced cursor per agent (id-frontier positions).
+        self.presence: dict[str, tuple[EventId, ...]] = {}
+        self.stats = RoomStats()
+        #: Inbound causal buffer: uploads from every session funnel through
+        #: here, so the document sees causally ordered, deduplicated batches.
+        self.inbound = CausalBuffer(deliver_batch=self._ingest)
+        # A room can be created over a pre-loaded document; everything already
+        # in the graph counts as known.
+        self._seed_inbound()
+
+    def _seed_inbound(self) -> None:
+        graph = self.document.oplog.graph
+        self.inbound.mark_known_spans(
+            (graph[i].id, graph[i].num_chars) for i in range(len(graph))
+        )
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self, agent: str, transport: str, version_ids: Iterable[EventId]) -> Session:
+        """Open a session: seed its dedup state from the client's version and
+        queue ``welcome`` + catch-up ``delta`` + current presence frames."""
+        self.reap_idle_sessions()
+        session = Session(self, agent, transport)
+        self.sessions[session.id] = session
+        self.stats.sessions_opened += 1
+        version_ids = tuple(version_ids)
+        session.seed_known(self._spans_at(version_ids))
+        session.queue_frame(
+            welcome_frame(self.name, session.id, self.document.version().ids)
+        )
+        catchup = self.document.events_since(version_ids)
+        if catchup:
+            session.offer_events(catchup)
+        if session.wants_presence:
+            for other_agent, cursor in self.presence.items():
+                if other_agent != agent:
+                    session.queue_frame(presence_frame(other_agent, cursor))
+        return session
+
+    def disconnect(self, session: Session) -> None:
+        if self.sessions.pop(session.id, None) is not None:
+            self.stats.sessions_closed += 1
+        session.close()
+        self.presence.pop(session.agent, None)
+
+    def reap_idle_sessions(self, timeout: float = POLL_SESSION_TIMEOUT) -> None:
+        """Drop long-poll sessions that stopped polling (vanished clients)."""
+        deadline = time.monotonic() - timeout
+        for session in list(self.sessions.values()):
+            if session.transport == "poll" and session.last_seen < deadline:
+                self.disconnect(session)
+
+    def _spans_at(self, version_ids: tuple[EventId, ...]) -> list[tuple[EventId, int]]:
+        """The id spans covered by ``Events(version)`` — what a client at that
+        version already holds.  Unknown ids (the client is ahead of us on a
+        branch) contribute nothing; its uploads will fill the gap."""
+        graph = self.document.oplog.graph
+        known = [eid for eid in version_ids if graph.contains_id(eid)]
+        if not known:
+            return []
+        indices = tuple(sorted({graph.dependency_index(eid) for eid in known}))
+        closure = self.document.oplog.causal.ancestors(indices)
+        return [(graph[i].id, graph[i].num_chars) for i in closure]
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def receive_delta(self, session: Session, events: list[RemoteEvent]) -> int:
+        """Ingest one uploaded delta; returns how many events reached the
+        document (0 for a pure duplicate replay)."""
+        self.stats.deltas_received += 1
+        session.last_seen = time.monotonic()
+        session.mark_uploaded(events)
+        before = self.inbound.stats.duplicates
+        delivered = self.inbound.receive_batch(events)
+        self.stats.duplicates_dropped += self.inbound.stats.duplicates - before
+        return delivered
+
+    def _ingest(self, events: list[RemoteEvent]) -> None:
+        """Inbound-buffer delivery: apply one causally ordered batch to the
+        server replica, then fan it out to every session's outbound buffer."""
+        self.document.apply_remote_events(events)
+        self.stats.events_ingested += len(events)
+        self.stats.chars_ingested += sum(e.op.length for e in events)
+        for session in self.sessions.values():
+            if not session.closed:
+                session.offer_events(events)
+
+    def receive_presence(self, session: Session, cursor: tuple[EventId, ...]) -> None:
+        """Update an agent's cursor and fan it out to WebSocket sessions."""
+        self.stats.presence_updates += 1
+        session.last_seen = time.monotonic()
+        self.presence[session.agent] = cursor
+        frame = presence_frame(session.agent, cursor)
+        for other in self.sessions.values():
+            if other is not session and other.wants_presence and not other.closed:
+                other.queue_frame(frame)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def text(self) -> str:
+        return self.document.text
+
+    def version(self) -> Version:
+        return self.document.version()
+
+    def buffer_pending(self) -> dict[str, int]:
+        """Parked-event counts for the leak check: all zero once the room has
+        quiesced (no in-flight uploads, every session caught up)."""
+        pending = {"inbound": self.inbound.pending_count}
+        for session in self.sessions.values():
+            pending[f"outbound:{session.id}"] = session.pending_count
+        return pending
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "doc": self.name,
+            "sessions": len(self.sessions),
+            "run_events": len(self.document.oplog.graph),
+            "chars": self.document.oplog.graph.num_chars,
+            "text_len": len(self.document.rope),
+            "version": [[a, s] for a, s in self.document.version().as_tuples()],
+            "buffer_pending": self.buffer_pending(),
+            "stats": {
+                "events_ingested": self.stats.events_ingested,
+                "chars_ingested": self.stats.chars_ingested,
+                "deltas_received": self.stats.deltas_received,
+                "duplicates_dropped": self.stats.duplicates_dropped,
+                "frames_queued": self.stats.frames_queued,
+                "presence_updates": self.stats.presence_updates,
+                "sessions_opened": self.stats.sessions_opened,
+                "sessions_closed": self.stats.sessions_closed,
+            },
+        }

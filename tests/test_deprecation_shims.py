@@ -1,0 +1,104 @@
+"""Regression tests for the deprecated index-based API shims.
+
+The public API moved to id-based :class:`repro.history.Version` handles; the
+old entry points survive as thin forwarding shims.  Each shim must (a) raise a
+``DeprecationWarning`` and (b) return *exactly* what the Version-handle API
+returns — a shim that silently drifts from the canonical path is worse than
+no shim at all.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.document import Document
+from repro.history import Version
+
+
+def two_branch_document():
+    """A document whose frontier has two heads (merged concurrent edits), so
+    version ordering/canonicalisation actually matters."""
+    a = Document("a")
+    b = Document("b")
+    a.insert(0, "base ")
+    b.apply_remote_events(a.events_since(()))
+    a.insert(5, "left")
+    b.insert(5, "right")
+    a.apply_remote_events(b.events_since(a.version()))
+    b.apply_remote_events(a.events_since(b.version()))
+    assert a.text == b.text
+    return a
+
+
+def assert_deprecated(callable_, *args):
+    """Call a shim, assert it warns, return its value."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = callable_(*args)
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    ), f"{callable_} did not raise DeprecationWarning"
+    return value
+
+
+class TestDocumentShims:
+    def test_remote_version_matches_version_ids(self):
+        doc = two_branch_document()
+        ids = assert_deprecated(doc.remote_version)
+        assert ids == doc.version().ids
+        # Canonical form: sorted and duplicate-free, like the handle.
+        assert ids == tuple(sorted(set(ids)))
+
+    def test_text_at_remote_matches_text_at_version(self):
+        doc = two_branch_document()
+        for handle in doc.versions():
+            via_shim = assert_deprecated(doc.text_at_remote, handle.ids)
+            assert via_shim == doc.text_at(handle)
+        # The full frontier too (two heads).
+        assert assert_deprecated(doc.text_at_remote, doc.version().ids) == doc.text
+
+    def test_text_at_with_index_tuple_matches_handle(self):
+        doc = Document("solo")
+        doc.insert(0, "one")
+        doc.insert(3, " two")
+        frontier = doc.local_version
+        via_shim = assert_deprecated(doc.text_at, tuple(frontier))
+        assert via_shim == doc.text_at(doc.version()) == doc.text
+
+    def test_history_versions_parity_with_versions(self):
+        doc = two_branch_document()
+        index_versions = assert_deprecated(doc.history_versions)
+        handles = doc.versions()
+        assert len(index_versions) == len(handles)
+        for index_version, handle in zip(index_versions, handles):
+            assert assert_deprecated(doc.text_at, index_version) == doc.text_at(
+                handle
+            )
+
+
+class TestOpLogShims:
+    def test_version_property_forwards_to_local_version(self):
+        doc = two_branch_document()
+        value = assert_deprecated(lambda: doc.oplog.version)
+        assert value == doc.oplog.local_version
+
+    def test_version_property_tracks_graph_mutation(self):
+        doc = Document("solo")
+        doc.insert(0, "x")
+        first = assert_deprecated(lambda: doc.oplog.version)
+        assert first == doc.oplog.local_version
+        doc.insert(1, "y")
+        second = assert_deprecated(lambda: doc.oplog.version)
+        assert second == doc.oplog.local_version
+
+
+class TestShimWarningsAreClean:
+    def test_canonical_apis_do_not_warn(self):
+        doc = two_branch_document()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            doc.version()
+            doc.versions()
+            doc.text_at(doc.version())
+            doc.text_at(Version(doc.version().ids))
+            _ = doc.oplog.local_version

@@ -326,3 +326,69 @@ class TestHandleStability:
         )
         bob.insert(0, "bob says: ")
         assert bob.text_at(saved) == "shared text"
+
+
+class TestDiffQuadraticGuard:
+    """The difflib fallback in ``History.diff`` is O(|a|·|b|); above
+    ``QUADRATIC_DIFF_LIMIT`` character pairs a guard trims the common affixes
+    first and, if the disputed middles are still too large, degrades to a
+    coarse replace — bounded cost for arbitrarily long concurrent texts."""
+
+    def test_trim_common_affixes(self):
+        from repro.history.history import _trim_common_affixes
+
+        assert _trim_common_affixes("abcXdef", "abcYYdef") == (3, 3)
+        assert _trim_common_affixes("same", "same") == (4, 0)  # prefix wins ties
+        assert _trim_common_affixes("aaaa", "aaa") == (3, 0)
+        assert _trim_common_affixes("xy", "uv") == (0, 0)
+        assert _trim_common_affixes("", "abc") == (0, 0)
+
+    def test_small_inputs_stay_fine_grained(self):
+        from repro.core.merge_engine import MergeEngineStats
+        from repro.history.history import _text_diff
+
+        stats = MergeEngineStats()
+        ops = _text_diff("kitten", "sitting", stats=stats)
+        assert apply_ops("kitten", ops) == "sitting"
+        assert stats.history_diff_guards == 0
+
+    def test_guard_trims_affixes_and_keeps_fine_grained_middle(self):
+        from repro.core.merge_engine import MergeEngineStats
+        from repro.history.history import QUADRATIC_DIFF_LIMIT, _text_diff
+
+        shared = "p" * 1200
+        a = shared + "OLD" + shared
+        b = shared + "NEWER" + shared
+        assert len(a) * len(b) > QUADRATIC_DIFF_LIMIT
+        stats = MergeEngineStats()
+        ops = _text_diff(a, b, stats=stats)
+        assert stats.history_diff_guards == 1
+        assert apply_ops(a, ops) == b
+        # The edit script touches only the disputed middle, not the affixes.
+        assert sum(len(op.content or "") for op in ops) <= len("NEWER")
+
+    def test_guard_degrades_to_coarse_replace(self):
+        from repro.core.merge_engine import MergeEngineStats
+        from repro.history.history import QUADRATIC_DIFF_LIMIT, _text_diff
+
+        a = "ab" * 1500
+        b = "cd" * 1500
+        assert len(a) * len(b) > QUADRATIC_DIFF_LIMIT
+        stats = MergeEngineStats()
+        ops = _text_diff(a, b, stats=stats)
+        assert stats.history_diff_guards == 1
+        assert len(ops) == 2  # one delete + one insert
+        assert apply_ops(a, ops) == b
+
+    def test_history_diff_guard_counted_on_engine_stats(self):
+        alice = Document("alice")
+        bob = Document("bob")
+        alice.insert(0, "x" * 1100)
+        bob.insert(0, "y" * 1200)
+        branch_a = alice.version()
+        alice.apply_remote_events(bob.events_since(()))
+        branch_b = Version(bob.version().ids)
+        before = alice.merge_stats.history_diff_guards
+        ops = alice.diff(branch_a, branch_b)
+        assert alice.merge_stats.history_diff_guards == before + 1
+        assert apply_ops(alice.text_at(branch_a), ops) == alice.text_at(branch_b)

@@ -256,3 +256,113 @@ class TestBatchedDelivery:
         assert stats.events_integrated >= 30
         assert stats.merges <= 10
         assert hub.buffer.buffer.stats.batches == hub.document.merge_stats.merges
+
+
+class TestReconnectReplayDedup:
+    """A reconnecting peer replays spans the receiver may already have; every
+    fully-covered event must be a clean no-op (``receive`` returns 0, nothing
+    is re-dispatched, nothing leaks into the pending buffer)."""
+
+    def run_event(self, agent, seq, parents, pos, content):
+        return RemoteEvent(
+            id=EventId(agent, seq), parents=tuple(parents), op=insert_op(pos, content)
+        )
+
+    def test_covered_receive_is_clean_noop(self):
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        event = self.run_event("a", 0, [], 0, "hello")
+        assert buffer.receive(event) == 1
+        assert buffer.receive(event) == 0
+        assert len(delivered) == 1
+        assert buffer.stats.duplicates == 1
+        assert buffer.pending_count == 0
+
+    def test_disconnect_replay_overlapping_batch(self):
+        """Disconnect, miss some spans, then receive a replayed batch that
+        overlaps what was already delivered: only the missed tail comes out."""
+        delivered = []
+        buffer = CausalBuffer(deliver_batch=delivered.extend)
+        e1 = self.run_event("a", 0, [], 0, "abc")
+        e2 = self.run_event("b", 0, [EventId("a", 2)], 3, "xy")
+        # Seen before the disconnect.
+        assert buffer.receive_batch([e1, e2]) == 2
+        # Missed while offline, then replayed together with the old spans
+        # (the sender resends everything after the client's last version).
+        e3 = self.run_event("a", 3, [EventId("b", 1)], 5, "de")
+        assert buffer.receive_batch([e1, e2, e3]) == 1
+        assert [e.id for e in delivered] == [e1.id, e2.id, e3.id]
+        assert buffer.stats.duplicates == 2
+        assert buffer.pending_count == 0
+
+    def test_reconnect_seeded_from_known_spans(self):
+        """A fresh buffer (new connection) seeded with the replica's known
+        spans treats the replayed overlap exactly like the old buffer did."""
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        # The replica already holds "abc" + "xy" from before the reconnect.
+        buffer.mark_known_spans([(EventId("a", 0), 3), (EventId("b", 0), 2)])
+        replay = [
+            self.run_event("a", 0, [], 0, "abc"),
+            self.run_event("b", 0, [EventId("a", 2)], 3, "xy"),
+            self.run_event("a", 3, [EventId("b", 1)], 5, "de"),
+        ]
+        assert sum(buffer.receive(e) for e in replay) == 1
+        assert [e.id for e in delivered] == [EventId("a", 3)]
+        assert buffer.stats.duplicates == 2
+        assert buffer.pending_count == 0
+
+    def test_recarved_overlap_is_still_duplicate(self):
+        """The replayed batch may carve the same characters into different
+        runs (sender-side coalescing after the reconnect): coverage is by
+        character span, so every re-carving of known spans is a no-op."""
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        buffer.receive(self.run_event("a", 0, [], 0, "ab"))
+        buffer.receive(self.run_event("a", 2, [EventId("a", 1)], 2, "cd"))
+        # Replayed as one coalesced run: fully covered by the two finer runs.
+        assert buffer.receive(self.run_event("a", 0, [], 0, "abcd")) == 0
+        # Replayed as a mid-run suffix: also fully covered.
+        assert buffer.receive(self.run_event("a", 1, [EventId("a", 0)], 1, "bcd")) == 0
+        assert buffer.stats.duplicates == 2
+        assert len(delivered) == 2
+        assert buffer.pending_count == 0
+
+    def test_recarved_overlap_with_new_tail_passes_once(self):
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        buffer.receive(self.run_event("a", 0, [], 0, "abcd"))
+        # Replay extends the run: only the tail is new, delivered exactly once.
+        extended = self.run_event("a", 0, [], 0, "abcdef")
+        assert buffer.receive(extended) == 1
+        assert buffer.receive(extended) == 0
+        assert len(delivered) == 2
+        assert buffer.stats.duplicates == 1
+
+    def test_mark_known_flushes_waiting_events(self):
+        """``mark_known`` must flush events that were only waiting on the
+        marked ids, like ``mark_known_spans`` does — otherwise a session
+        seeded after the events arrived parks them forever."""
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        held = self.run_event("b", 0, [EventId("a", 1)], 2, "z")
+        assert buffer.receive(held) == 0
+        assert buffer.pending_count == 1
+        assert buffer.mark_known([EventId("a", 0), EventId("a", 1)]) == 1
+        assert [e.id for e in delivered] == [held.id]
+        assert buffer.pending_count == 0
+
+    def test_duplicate_of_pending_event_stays_single(self):
+        """A replayed copy of an event that is still buffered (parent missing
+        at both arrivals) is delivered exactly once when the parent lands."""
+        delivered = []
+        buffer = CausalBuffer(delivered.append)
+        parent = self.run_event("p", 0, [], 0, "!")
+        child = self.run_event("a", 0, [parent.id], 1, "qq")
+        assert buffer.receive(child) == 0
+        assert buffer.receive(child) == 0  # replayed while still pending
+        assert buffer.pending_count == 1
+        assert buffer.receive(parent) == 2
+        assert [e.id for e in delivered] == [parent.id, child.id]
+        assert buffer.stats.duplicates == 1
+        assert buffer.pending_count == 0

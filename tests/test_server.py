@@ -1,0 +1,252 @@
+"""End-to-end tests for the collaboration server, over real sockets.
+
+Each test spins up a :class:`~repro.server.CollabServer` on an ephemeral
+loopback port inside ``asyncio.run`` and drives it with the loadgen clients —
+the same code paths the benchmark and the CI smoke job exercise, at small
+scale.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server import CollabServer, run_loadgen, run_trace_replay
+from repro.server.loadgen import CollabClient, PollClient, http_request
+from repro.traces.datasets import get_trace
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60.0))
+
+
+async def wait_until(predicate, timeout=8.0, interval=0.01):
+    """Poll ``predicate`` until it holds (returning True) or time runs out."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+def assert_no_leaks(server, doc, *clients):
+    room = server.room(doc)
+    leaks = dict(room.buffer_pending())
+    for client in clients:
+        leaks[f"client:{client.agent}"] = client.pending_count
+    assert all(count == 0 for count in leaks.values()), leaks
+
+
+class TestWebSocketSessions:
+    def test_two_clients_converge(self):
+        async def scenario():
+            async with CollabServer() as server:
+                a = CollabClient(server.host, server.port, "d", "alice")
+                b = CollabClient(server.host, server.port, "d", "bob")
+                await a.connect()
+                await b.connect()
+                await a.insert(0, "hello ")
+                assert await wait_until(lambda: b.text == "hello ")
+                await b.insert(6, "world")
+                assert await wait_until(
+                    lambda: a.text == b.text == "hello world"
+                )
+                assert server.room("d").document.text == "hello world"
+                assert_no_leaks(server, "d", a, b)
+                await a.close()
+                await b.close()
+
+        run(scenario())
+
+    def test_late_joiner_gets_catchup_delta(self):
+        async def scenario():
+            async with CollabServer() as server:
+                a = CollabClient(server.host, server.port, "d", "alice")
+                await a.connect()
+                await a.insert(0, "already here")
+                b = CollabClient(server.host, server.port, "d", "bob")
+                await b.connect()
+                assert await wait_until(lambda: b.text == "already here")
+                assert_no_leaks(server, "d", a, b)
+                await a.close()
+                await b.close()
+
+        run(scenario())
+
+    def test_reconnect_replay_is_deduplicated(self):
+        """Disconnect, edit elsewhere, reconnect with the old document and
+        replay everything already uploaded: the server must ship only the
+        missed suffix and drop the replayed overlap without re-applying it."""
+
+        async def scenario():
+            async with CollabServer() as server:
+                a = CollabClient(server.host, server.port, "d", "alice")
+                b = CollabClient(server.host, server.port, "d", "bob")
+                await a.connect()
+                await b.connect()
+                await a.insert(0, "shared ")
+                assert await wait_until(lambda: b.text == "shared ")
+                await b.insert(7, "tail")
+                assert await wait_until(lambda: a.text == "shared tail")
+                # b's connection drops without a bye.
+                await b.close(send_bye=False)
+                # Meanwhile alice keeps typing.
+                await a.insert(0, "new ")
+                assert await wait_until(
+                    lambda: server.room("d").document.text == "new shared tail"
+                )
+                room = server.room("d")
+                dropped_before = room.stats.duplicates_dropped
+                # b reconnects with its old replica and (paranoid client)
+                # replays its complete local history, overlapping everything
+                # the server already holds.
+                b2 = CollabClient(
+                    server.host, server.port, "d", "bob", document=b.document
+                )
+                await b2.connect()
+                replay = b2.document.oplog.export_since_seq("bob", 0)
+                assert replay
+                await b2.send_events(replay)
+                assert await wait_until(lambda: b2.text == "new shared tail")
+                assert await wait_until(
+                    lambda: room.stats.duplicates_dropped > dropped_before
+                )
+                # The replay changed nothing: server and both clients agree.
+                assert room.document.text == "new shared tail"
+                assert a.text == "new shared tail"
+                assert_no_leaks(server, "d", a, b2)
+                await a.close()
+                await b2.close()
+
+        run(scenario())
+
+    def test_malformed_frames_get_errors_not_disconnects(self):
+        async def scenario():
+            async with CollabServer() as server:
+                a = CollabClient(server.host, server.port, "d", "alice")
+                b = CollabClient(server.host, server.port, "d", "bob")
+                await a.connect()
+                await b.connect()
+                await a.send_raw("{this is not json")
+                assert await wait_until(lambda: len(a.errors) == 1)
+                assert a.errors[0]["code"] == "bad-json"
+                await a.send_raw(json.dumps({"type": "teleport"}))
+                assert await wait_until(lambda: len(a.errors) == 2)
+                assert a.errors[1]["code"] == "unknown-type"
+                # A client-sent server-only frame is rejected the same way.
+                await a.send_raw(json.dumps({"type": "ack", "accepted": 1}))
+                assert await wait_until(lambda: len(a.errors) == 3)
+                assert a.errors[2]["code"] == "unexpected-type"
+                # The connection survived all three: edits still flow.
+                await a.insert(0, "still alive")
+                assert await wait_until(lambda: b.text == "still alive")
+                await a.close()
+                await b.close()
+
+        run(scenario())
+
+    def test_presence_reaches_websocket_peers_only(self):
+        async def scenario():
+            async with CollabServer() as server:
+                a = CollabClient(server.host, server.port, "d", "alice")
+                b = CollabClient(server.host, server.port, "d", "bob")
+                c = PollClient(server.host, server.port, "d", "carol", poll_wait=0.05)
+                await a.connect()
+                await b.connect()
+                await c.connect()
+                await a.insert(0, "x")
+                await a.send_presence()
+                assert await wait_until(lambda: "alice" in b.presence_seen)
+                assert b.presence_seen["alice"]  # pinned to an id frontier
+                # The sender does not hear its own cursor back; the polling
+                # fallback gets no presence at all.
+                assert a.presence_received == 0
+                await asyncio.sleep(0.2)
+                assert c.presence_received == 0
+                # A late WS joiner receives the existing cursors on connect.
+                d = CollabClient(server.host, server.port, "d", "dave")
+                await d.connect()
+                assert await wait_until(lambda: "alice" in d.presence_seen)
+                for client in (a, b, c, d):
+                    await client.close()
+
+        run(scenario())
+
+
+class TestLongPollFallback:
+    def test_poll_and_ws_clients_converge(self):
+        async def scenario():
+            async with CollabServer() as server:
+                ws = CollabClient(server.host, server.port, "d", "alice")
+                poll = PollClient(server.host, server.port, "d", "bob", poll_wait=0.05)
+                await ws.connect()
+                await poll.connect()
+                await ws.insert(0, "from ws ")
+                assert await wait_until(lambda: poll.text == "from ws ")
+                await poll.insert(8, "and poll")
+                assert await wait_until(
+                    lambda: ws.text == poll.text == "from ws and poll"
+                )
+                assert_no_leaks(server, "d", ws, poll)
+                await ws.close()
+                await poll.close()
+
+        run(scenario())
+
+    def test_http_endpoints(self):
+        async def scenario():
+            async with CollabServer() as server:
+                host, port = server.host, server.port
+                status, body = await http_request(host, port, "GET", "/healthz")
+                assert status == 200 and body["ok"] is True
+                status, body = await http_request(host, port, "GET", "/nope")
+                assert status == 404 and body["code"] == "not-found"
+                # A session opened over HTTP answers sends with acks.
+                client = PollClient(host, port, "d", "eve", poll_wait=0.05)
+                await client.connect()
+                await client.insert(0, "hi")
+                status, body = await http_request(
+                    host, port, "GET", "/v1/text?doc=d"
+                )
+                assert status == 200 and body["text"] == "hi"
+                status, body = await http_request(
+                    host, port, "GET", "/v1/stats?doc=d"
+                )
+                assert status == 200 and body["doc"] == "d"
+                await client.close()
+
+        run(scenario())
+
+
+class TestLoadgen:
+    def test_live_session_mixed_transports(self):
+        async def scenario():
+            async with CollabServer() as server:
+                result = await run_loadgen(
+                    server.host,
+                    server.port,
+                    clients=3,
+                    edits_per_client=8,
+                    edit_interval=0.0,
+                    transport="mixed",
+                )
+                assert result.converged, result.as_row()
+                assert result.leaks == {} or all(
+                    v == 0 for v in result.leaks.values()
+                ), result.leaks
+                assert result.edits == 24
+                assert result.latency_samples > 0
+
+        run(scenario())
+
+    def test_trace_replay_matches_per_character_oracle(self):
+        trace = get_trace("C2", 0.04)
+
+        async def scenario():
+            async with CollabServer() as server:
+                result = await run_trace_replay(server.host, server.port, trace)
+                assert result.converged, result.as_row()
+                assert all(v == 0 for v in result.leaks.values()), result.leaks
+
+        run(scenario())

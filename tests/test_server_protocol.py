@@ -1,0 +1,193 @@
+"""Tests for the collaboration server's wire protocol (socketless).
+
+Covers the JSON frame codec (round trips, strict rejection of malformed
+frames with machine-readable error codes) and the raw RFC 6455 frame codec
+used by the WebSocket transport.
+"""
+
+import json
+
+import pytest
+
+from repro.core.ids import EventId, delete_op, insert_op
+from repro.core.oplog import RemoteEvent
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    bye_frame,
+    decode_frame,
+    delta_frame,
+    encode_frame,
+    error_frame,
+    hello_frame,
+    presence_frame,
+    welcome_frame,
+)
+from repro.server.wire import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_PING,
+    OP_TEXT,
+    build_ws_frame,
+    parse_ws_frame_header,
+    websocket_accept_key,
+)
+
+
+def sample_events():
+    return [
+        RemoteEvent(
+            id=EventId("alice", 0),
+            parents=(),
+            op=insert_op(0, "héllo ✎"),  # non-ASCII survives the codec
+        ),
+        RemoteEvent(
+            id=EventId("bob", 4),
+            parents=(EventId("alice", 6), EventId("carol", 2)),
+            op=delete_op(3, 4),
+        ),
+    ]
+
+
+class TestFrameRoundTrips:
+    def test_delta_round_trip(self):
+        events = sample_events()
+        decoded = decode_frame(encode_frame(delta_frame(events)))
+        assert decoded["type"] == "delta"
+        assert decoded["events"] == events
+
+    def test_hello_round_trip(self):
+        ids = (EventId("alice", 6), EventId("bob", 4))
+        decoded = decode_frame(encode_frame(hello_frame("doc-1", "carol", ids)))
+        assert decoded["doc"] == "doc-1"
+        assert decoded["agent"] == "carol"
+        assert decoded["version"] == ids
+        assert decoded["protocol"] == PROTOCOL_VERSION
+
+    def test_welcome_round_trip(self):
+        ids = (EventId("a", 0),)
+        decoded = decode_frame(encode_frame(welcome_frame("d", "s7", ids)))
+        assert decoded["session"] == "s7"
+        assert decoded["version"] == ids
+
+    def test_presence_round_trip(self):
+        decoded = decode_frame(
+            encode_frame(presence_frame("alice", [EventId("alice", 9)]))
+        )
+        assert decoded["agent"] == "alice"
+        assert decoded["cursor"] == (EventId("alice", 9),)
+
+    def test_error_and_bye_round_trip(self):
+        err = decode_frame(encode_frame(error_frame("bad-op", "nope")))
+        assert (err["code"], err["reason"]) == ("bad-op", "nope")
+        assert decode_frame(encode_frame(bye_frame()))["type"] == "bye"
+
+    def test_decode_accepts_bytes(self):
+        raw = encode_frame(bye_frame()).encode("utf-8")
+        assert decode_frame(raw)["type"] == "bye"
+
+
+class TestMalformedFrames:
+    """Every malformed frame maps to a ProtocolError with a stable code —
+    the server answers with an ``error`` frame instead of dropping the
+    connection, so the code is part of the wire contract."""
+
+    def expect(self, code, text):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(text)
+        assert excinfo.value.code == code
+
+    def test_invalid_json(self):
+        self.expect("bad-json", "{not json")
+
+    def test_non_object_frame(self):
+        self.expect("bad-frame", "[1,2,3]")
+
+    def test_unknown_type(self):
+        self.expect("unknown-type", json.dumps({"type": "teleport"}))
+
+    def test_missing_field(self):
+        self.expect("missing-field", json.dumps({"type": "delta"}))
+        self.expect("missing-field", json.dumps({"type": "presence", "agent": "a"}))
+
+    def test_bad_protocol_version(self):
+        frame = hello_frame("d", "a")
+        frame["protocol"] = PROTOCOL_VERSION + 1
+        self.expect("bad-protocol-version", json.dumps(frame))
+
+    def test_bad_id_shapes(self):
+        for bad in (["alice"], ["alice", -1], ["alice", 1.5], [0, 1], "alice:0"):
+            frame = delta_frame([])
+            frame["events"] = [{"id": bad, "parents": [], "op": {"kind": "ins", "pos": 0, "content": "x"}}]
+            self.expect("bad-id", json.dumps(frame))
+
+    def test_bad_ops(self):
+        cases = [
+            {"kind": "ins", "pos": 0, "content": ""},  # empty insert
+            {"kind": "ins", "pos": -1, "content": "x"},
+            {"kind": "del", "pos": 0, "len": 0},
+            {"kind": "del", "pos": 0},  # no length
+            {"kind": "move", "pos": 0},  # unknown kind
+            "not an object",
+        ]
+        for bad in cases:
+            frame = delta_frame([])
+            frame["events"] = [{"id": ["a", 0], "parents": [], "op": bad}]
+            self.expect("bad-op", json.dumps(frame))
+
+    def test_bad_event_shapes(self):
+        frame = delta_frame([])
+        frame["events"] = ["not an object"]
+        self.expect("bad-event", json.dumps(frame))
+        frame["events"] = [{"id": ["a", 0], "parents": "oops", "op": {"kind": "ins", "pos": 0, "content": "x"}}]
+        self.expect("bad-event", json.dumps(frame))
+
+    def test_oversized_frame(self):
+        frame = delta_frame([])
+        frame["padding"] = "x" * MAX_FRAME_BYTES
+        self.expect("frame-too-large", json.dumps(frame))
+
+
+class TestWebSocketFrameCodec:
+    """The raw RFC 6455 codec, exercised without a socket."""
+
+    def round_trip(self, opcode, payload, *, mask):
+        raw = build_ws_frame(opcode, payload, mask=mask)
+        parsed = parse_ws_frame_header(raw)
+        assert parsed is not None
+        got_opcode, fin, length, mask_key, header_size = parsed
+        assert got_opcode == opcode and fin
+        assert length == len(payload)
+        body = raw[header_size : header_size + length]
+        if mask_key is not None:
+            body = bytes(b ^ mask_key[i % 4] for i, b in enumerate(body))
+        assert body == payload
+        return mask_key
+
+    def test_unmasked_server_frame(self):
+        assert self.round_trip(OP_TEXT, "server → client".encode(), mask=False) is None
+
+    def test_masked_client_frame(self):
+        assert self.round_trip(OP_TEXT, b"client to server", mask=True) is not None
+
+    def test_length_encodings(self):
+        # 7-bit, 16-bit and 64-bit payload length encodings.
+        for size in (0, 125, 126, 65535, 65536):
+            self.round_trip(OP_BINARY, b"a" * size, mask=True)
+
+    def test_control_frames(self):
+        self.round_trip(OP_PING, b"keepalive", mask=False)
+        self.round_trip(OP_CLOSE, (1000).to_bytes(2, "big"), mask=False)
+
+    def test_incomplete_header_returns_none(self):
+        raw = build_ws_frame(OP_TEXT, b"x" * 300, mask=True)
+        assert parse_ws_frame_header(raw[:1]) is None
+        assert parse_ws_frame_header(raw[:3]) is None  # 16-bit length cut short
+
+    def test_accept_key_rfc_vector(self):
+        # The worked example from RFC 6455 §1.3.
+        assert (
+            websocket_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
