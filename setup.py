@@ -1,10 +1,39 @@
-"""Setuptools shim.
+"""Package metadata for the eg-walker reproduction.
 
-The project is configured through ``pyproject.toml``; this file exists so the
-package can be installed in environments whose tooling predates PEP 660
-editable installs (``pip install -e . --no-use-pep517``).
+The package ships a ``py.typed`` marker (PEP 561): the ``repro.core`` /
+``repro.history`` / ``repro.storage`` packages are checked under
+``mypy --strict`` in CI (see ``mypy.ini``), so downstream users get full
+inline types.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-eg-walker",
+    version="0.8.0",
+    description=(
+        "Reproduction of 'Collaborative Text Editing with Eg-walker: Better, "
+        "Faster, Smaller' (EuroSys 2025): event-graph replay, history "
+        "browsing, columnar storage, and a collaboration server"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=[],  # stdlib only, by design
+    extras_require={
+        "dev": ["pytest", "hypothesis", "mypy"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Developers",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Software Development :: Libraries",
+        "Typing :: Typed",
+    ],
+)

@@ -1,0 +1,105 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline is a JSON file listing findings that are *known and accepted*:
+each entry carries the rule, path, line-number-independent fingerprint
+(:attr:`~repro.analysis.findings.Finding.fingerprint`) and a mandatory
+one-line justification.  The linter exits non-zero only for findings **not**
+covered by the baseline, so new violations fail CI while the accepted ones
+stay visible (and auditable) in one place.
+
+Entries are consumed multiset-style: two identical offending lines in the
+same file need two entries.  Entries that no longer match anything are
+reported as *stale* so the baseline shrinks over time instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline"]
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    justification: str
+    snippet: str = ""
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "justification": self.justification,
+            "snippet": self.snippet,
+        }
+
+
+class Baseline:
+    """A multiset of accepted findings, loaded from / saved to JSON."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries: list[BaselineEntry] = list(entries or [])
+        self._available: dict[str, list[BaselineEntry]] = {}
+        for entry in self.entries:
+            self._available.setdefault(entry.fingerprint, []).append(entry)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                fingerprint=raw["fingerprint"],
+                justification=raw.get("justification", ""),
+                snippet=raw.get("snippet", ""),
+            )
+            for raw in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "comment": (
+                "Grandfathered findings of `python -m repro.analysis`; every "
+                "entry needs a one-line justification.  Remove entries as the "
+                "code they cover is fixed (stale entries are reported)."
+            ),
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], justification: str) -> "Baseline":
+        return cls(
+            [
+                BaselineEntry(
+                    rule=f.rule,
+                    path=f.path,
+                    fingerprint=f.fingerprint,
+                    justification=justification,
+                    snippet=f.snippet,
+                )
+                for f in findings
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def consume(self, finding: Finding) -> BaselineEntry | None:
+        """Match ``finding`` against an unconsumed entry (and consume it)."""
+        bucket = self._available.get(finding.fingerprint)
+        if bucket:
+            return bucket.pop()
+        return None
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries not consumed by any finding of the last run."""
+        return [entry for bucket in self._available.values() for entry in bucket]

@@ -1,0 +1,275 @@
+"""Rule: no read → ``await`` → write interleavings on ``self`` state.
+
+``repro.server`` mutates shared room/session state from asyncio coroutines.
+Between a read of ``self.x`` and an ``await``, any other task may run and
+change ``self.x``; a write after the suspension point that was computed from
+the *pre-await* read then clobbers the concurrent update (or acts on stale
+state) — the exact shape of bug that makes WebSocket fan-out lose deltas.
+
+The detector walks each ``async def`` in evaluation order and tracks, per
+``self``-rooted attribute, a tiny state machine:
+
+* a **read** of ``self.x`` (any ``Load`` of the attribute, including as the
+  receiver of a method call or subscript) marks the attribute *read*;
+* an **await** (also ``async for`` / ``async with``) marks every currently
+  *read* attribute as *stale* — the value observed before the suspension can
+  no longer be trusted;
+* a **write** (``self.x = ...`` / ``del self.x``) to a *stale* attribute is
+  flagged; a fresh read after the await (before the write) resets the
+  attribute and is the sanctioned fix (re-read, re-validate, then write).
+
+Augmented assignment (``self.x += 1``) re-reads at the write site, so per the
+invariant's definition ("without an intervening re-read") it is not flagged.
+Branches are analysed independently and merged pessimistically; loop bodies
+are walked twice so a read-at-top / write-at-bottom cycle straddling an
+``await`` is still caught.  Only direct ``self.x`` rebinds count as writes —
+mutating a nested object (``self.stats.n += 1``) does not lose the attribute
+binding itself and is out of scope for this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..rules import ModuleContext, Rule, register
+
+# Per-attribute states.
+_CLEAN = 0  # never read, or last event was a write
+_READ = 1  # read since the last await
+_STALE = 2  # read, then at least one await suspended the coroutine
+_SEVERITY = {_CLEAN: 0, _READ: 1, _STALE: 2}
+
+
+class _FunctionScan:
+    """Evaluation-order walk of one ``async def`` body."""
+
+    def __init__(self) -> None:
+        self.state: dict[str, int] = {}
+        #: (attribute, write node) pairs that matched read → await → write.
+        self.races: list[tuple[str, ast.AST]] = []
+        #: Control left the current linear path (return/raise/break/continue):
+        #: later statements of this branch are unreachable, and the branch
+        #: contributes nothing to a merge (re-read → validate → raise is the
+        #: sanctioned fix pattern and must not re-flag).
+        self.terminated = False
+
+    # -- state machine -------------------------------------------------
+    def read(self, attr: str) -> None:
+        self.state[attr] = _READ
+
+    def write(self, attr: str, node: ast.AST) -> None:
+        if self.state.get(attr, _CLEAN) == _STALE:
+            self.races.append((attr, node))
+        self.state[attr] = _CLEAN
+
+    def suspend(self) -> None:
+        for attr, value in self.state.items():
+            if value == _READ:
+                self.state[attr] = _STALE
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.state)
+
+    def merge(self, *branches: dict[str, int]) -> None:
+        merged: dict[str, int] = {}
+        for branch in branches:
+            for attr, value in branch.items():
+                if _SEVERITY[value] > _SEVERITY[merged.get(attr, _CLEAN)]:
+                    merged[attr] = value
+        self.state = merged
+
+    # -- expression / statement walk ------------------------------------
+    def emit_expr(self, node: ast.AST | None) -> None:
+        """Walk an expression in evaluation order, recording reads/awaits."""
+        if node is None:
+            return
+        if isinstance(node, ast.Await):
+            self.emit_expr(node.value)  # the awaitable is built pre-suspension
+            self.suspend()
+            return
+        if isinstance(node, ast.Attribute):
+            self.emit_expr(node.value)
+            if self._is_self(node.value) and isinstance(node.ctx, ast.Load):
+                self.read(node.attr)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # a nested body does not execute here
+        for child in ast.iter_child_nodes(node):
+            self.emit_expr(child)
+
+    @staticmethod
+    def _is_self(node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id == "self"
+
+    def emit_store(self, target: ast.AST) -> None:
+        """Walk an assignment target: nested receivers are reads, a direct
+        ``self.x`` is the write this rule cares about."""
+        if isinstance(target, ast.Attribute):
+            if self._is_self(target.value):
+                self.write(target.attr, target)
+            else:
+                self.emit_expr(target.value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.emit_store(element)
+        elif isinstance(target, (ast.Subscript, ast.Starred)):
+            # self.x[k] = v mutates the object; the binding self.x is *read*.
+            self.emit_expr(target)
+        elif isinstance(target, ast.Name):
+            pass  # local variable
+        else:  # pragma: no cover - future node types
+            self.emit_expr(target)
+
+    # -- statements ----------------------------------------------------
+    def run(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if self.terminated:
+                return  # unreachable after return/raise/break/continue
+            self.statement(stmt)
+
+    def statement(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            self.emit_expr(node.value)
+            for target in node.targets:
+                self.emit_store(target)
+        elif isinstance(node, ast.AnnAssign):
+            self.emit_expr(node.value)
+            self.emit_store(node.target)
+        elif isinstance(node, ast.AugAssign):
+            # Reads the target at the write site: an intervening re-read by
+            # definition, so record read then clean (never a race here).
+            self.emit_expr(node.value)
+            if isinstance(node.target, ast.Attribute) and self._is_self(node.target.value):
+                self.read(node.target.attr)
+                self.state[node.target.attr] = _CLEAN
+            else:
+                self.emit_expr(node.target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and self._is_self(target.value):
+                    self.write(target.attr, target)
+                else:
+                    self.emit_expr(target)
+        elif isinstance(node, ast.If):
+            self.emit_expr(node.test)
+            before = self.snapshot()
+            self.run(node.body)
+            taken, taken_terminated = self.snapshot(), self.terminated
+            self.state, self.terminated = dict(before), False
+            self.run(node.orelse)
+            else_terminated = self.terminated
+            # A branch that leaves (return/raise/...) contributes nothing to
+            # the merged fall-through state: "re-read, validate, bail out" is
+            # the sanctioned fix for this rule and must come out clean.
+            if taken_terminated and else_terminated:
+                self.terminated = True
+            elif taken_terminated:
+                self.terminated = False  # fall-through state = else branch
+            elif else_terminated:
+                self.state, self.terminated = taken, False
+            else:
+                self.merge(taken, self.snapshot())
+        elif isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            if isinstance(node, ast.While):
+                self.emit_expr(node.test)
+            else:
+                self.emit_expr(node.iter)
+            is_async = isinstance(node, ast.AsyncFor)
+            before = self.snapshot()
+            for _ in range(2):  # twice: catch cross-iteration read→await→write
+                if is_async:
+                    self.suspend()  # each iteration suspends on __anext__
+                self.run(node.body)
+                self.terminated = False  # break/continue/return end one path
+                self.merge(before, self.snapshot())
+            self.run(node.orelse)
+            self.terminated = False
+        elif isinstance(node, ast.Try):
+            before = self.snapshot()
+            self.run(node.body)
+            self.terminated = False
+            after_body = self.snapshot()
+            handler_states = []
+            for handler in node.handlers:
+                self.merge(before, after_body)  # exception may hit anywhere
+                self.run(handler.body)
+                self.terminated = False
+                handler_states.append(self.snapshot())
+            self.merge(after_body, *handler_states)
+            self.run(node.orelse)
+            self.terminated = False
+            self.run(node.finalbody)
+            self.terminated = False
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self.emit_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self.emit_store(item.optional_vars)
+            if isinstance(node, ast.AsyncWith):
+                self.suspend()  # __aenter__
+            self.run(node.body)
+            if isinstance(node, ast.AsyncWith):
+                self.suspend()  # __aexit__
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested definitions execute later, elsewhere
+        elif isinstance(node, (ast.Return, ast.Raise)):
+            for child in ast.iter_child_nodes(node):
+                self.emit_expr(child)
+            self.terminated = True
+        elif isinstance(node, (ast.Break, ast.Continue)):
+            self.terminated = True
+        elif isinstance(node, (ast.Expr, ast.Assert)):
+            for child in ast.iter_child_nodes(node):
+                self.emit_expr(child)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    self.statement(child)
+                else:
+                    self.emit_expr(child)
+
+
+@register
+class AwaitStateRaceRule(Rule):
+    name = "await-state-race"
+    description = (
+        "async method reads self-state, suspends at an await, then writes the "
+        "same attribute without re-reading: a concurrent task's update is "
+        "silently clobbered"
+    )
+    include = ("repro/server/",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            args = node.args
+            if not (args.posonlyargs or args.args):
+                continue
+            first = (args.posonlyargs or args.args)[0].arg
+            if first != "self":
+                continue  # free functions have no shared instance state
+            scan = _FunctionScan()
+            scan.run(node.body)
+            seen: set[tuple[str, int, int]] = set()
+            for attr, write_node in scan.races:
+                key = (
+                    attr,
+                    getattr(write_node, "lineno", 0),
+                    getattr(write_node, "col_offset", 0),
+                )
+                if key in seen:  # loop bodies are walked twice
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    module,
+                    write_node,
+                    f"self.{attr} is read before an await and written after "
+                    f"it in {node.name!r} without an intervening re-read; a "
+                    "task interleaving at the await sees its update "
+                    "clobbered — re-read (and re-validate) after the "
+                    "suspension point, or restructure to capture-then-write "
+                    "before awaiting",
+                )

@@ -1,0 +1,78 @@
+"""Rule: ban the deprecated index/tuple snapshot APIs outside their shims.
+
+PR 5 made id-based :class:`~repro.history.Version` handles the one snapshot
+currency; the old index-based APIs survive only as ``DeprecationWarning``
+shims (``Document.text_at_remote`` / ``.remote_version`` /
+``.history_versions`` and ``OpLog.version``).  PR 7 showed why the shims must
+stay quarantined: ``Document.remote_version`` silently drifted from
+``version()`` because live code still called it.  This rule bans any *use*
+(attribute access) of the shims outside the modules that define them and the
+parity tests that pin their behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..rules import ModuleContext, Rule, register
+
+#: Shim attributes banned on any receiver.
+_BANNED_ATTRS = {
+    "text_at_remote": "Document.text_at_remote (use History.text_at(Version(...)))",
+    "remote_version": "Document.remote_version (use Document.version().ids)",
+    "history_versions": "Document.history_versions (use Document.versions())",
+}
+
+#: ``.version`` is only deprecated on an *oplog* receiver (``Document.version()``
+#: is the blessed API), so it is banned only when the receiver is recognisably
+#: an oplog: a name containing "oplog"/"op_log", or an attribute chain ending
+#: in ``.oplog``.
+_OPLOG_ATTR = "version"
+
+
+def _is_oplog_receiver(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        lowered = node.id.lower()
+        return "oplog" in lowered or "op_log" in lowered
+    if isinstance(node, ast.Attribute):
+        lowered = node.attr.lower()
+        return "oplog" in lowered or "op_log" in lowered
+    return False
+
+
+@register
+class DeprecatedSnapshotApiRule(Rule):
+    name = "deprecated-snapshot-api"
+    description = (
+        "index/tuple snapshot shims (text_at_remote, remote_version, "
+        "history_versions, OpLog.version) must not be used outside the shim "
+        "modules and their parity tests"
+    )
+    exclude = (
+        # The shims are defined (and documented) here.
+        "repro/core/document.py",
+        "repro/core/oplog.py",
+        # The parity tests pin shim behaviour against the new APIs.
+        "tests/test_deprecation_shims.py",
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in _BANNED_ATTRS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"deprecated snapshot API {_BANNED_ATTRS[node.attr]}; "
+                    "id-based Version handles are the one snapshot currency",
+                )
+            elif node.attr == _OPLOG_ATTR and _is_oplog_receiver(node.value):
+                yield self.finding(
+                    module,
+                    node,
+                    "deprecated OpLog.version (use OpLog.local_version, or "
+                    "Document.version() for a stable id-based handle)",
+                )

@@ -1,0 +1,145 @@
+"""Rule: no per-character work inside the run-native modules.
+
+The paper's "Faster" claim rests on every layer processing **runs**, not
+characters: the event graph, oplog, walker, CRDT records and storage encoder
+all cost O(runs) on realistic traces.  A ``for`` loop over a run's content
+(or over ``range(op.length)``), or a call to the per-character oracle
+:func:`~repro.core.event_graph.expand_to_chars`, inside one of those modules
+silently reintroduces the O(chars) cost profile the whole pipeline exists to
+avoid — precisely the kind of regression that only shows up later as a bench
+cliff.  The per-character representation is *supposed* to exist in exactly
+two places: the oracle itself and the fuzzer/reference implementations that
+check against it; those are allowlisted by (path, function) below.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..rules import ModuleContext, Rule, register
+
+#: (path fragment, enclosing function name) pairs where per-character work is
+#: the entire point (the oracle's own definition).
+_ALLOWED_FUNCTIONS = (
+    ("repro/core/event_graph.py", "expand_to_chars"),
+)
+
+#: Attributes whose iteration means per-character work on a run.
+_CONTENT_ATTRS = {"content"}
+#: Attributes that, used as a ``range()`` bound, mean a per-character loop.
+_LENGTH_ATTRS = {"length", "num_chars"}
+#: Wrappers whose arguments are still iterated element-wise.
+_ITER_WRAPPERS = {"zip", "enumerate", "iter", "reversed", "map"}
+
+
+def _content_attribute(node: ast.expr) -> ast.Attribute | None:
+    """The ``X.content`` attribute iterated by ``node``, if any (unwrapping
+    ``zip(...)`` / ``enumerate(...)`` style wrappers one level deep)."""
+    if isinstance(node, ast.Attribute) and node.attr in _CONTENT_ATTRS:
+        return node
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _ITER_WRAPPERS
+    ):
+        for arg in node.args:
+            found = _content_attribute(arg)
+            if found is not None:
+                return found
+    return None
+
+
+def _per_char_range(node: ast.expr) -> ast.Attribute | None:
+    """The ``X.length`` / ``X.num_chars`` bound of a ``range(...)`` iterated
+    by ``node``, if any."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+    ):
+        for arg in node.args:
+            if isinstance(arg, ast.Attribute) and arg.attr in _LENGTH_ATTRS:
+                return arg
+    return None
+
+
+@register
+class PerCharHotPathRule(Rule):
+    name = "per-char-hot-path"
+    description = (
+        "run-native modules (core/, crdt/list_crdt.py, storage/) must not "
+        "loop per character; the per-character representation lives only in "
+        "the oracle and the code that checks against it"
+    )
+    include = (
+        "repro/core/",
+        "repro/crdt/list_crdt.py",
+        "repro/storage/",
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        allowed_functions = {
+            name
+            for fragment, name in _ALLOWED_FUNCTIONS
+            if fragment in module.path
+        }
+        yield from self._visit(module, module.tree, in_allowed=False,
+                               allowed=allowed_functions)
+
+    # ------------------------------------------------------------------
+    def _visit(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        in_allowed: bool,
+        allowed: set[str],
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_allowed = in_allowed
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_allowed = in_allowed or child.name in allowed
+            if not child_allowed:
+                yield from self._check_node(module, child)
+            yield from self._visit(module, child, child_allowed, allowed)
+
+    def _check_node(self, module: ModuleContext, node: ast.AST) -> Iterator[Finding]:
+        iter_exprs: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_exprs.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iter_exprs.extend(gen.iter for gen in node.generators)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name == "expand_to_chars":
+                yield self.finding(
+                    module,
+                    node,
+                    "call to the per-character oracle expand_to_chars in a "
+                    "run-native module; the O(chars) expansion belongs to the "
+                    "oracle/fuzzer only",
+                )
+            return
+        for expr in iter_exprs:
+            content = _content_attribute(expr)
+            if content is not None:
+                yield self.finding(
+                    module,
+                    content,
+                    "per-character loop over run content in a run-native "
+                    "module; process whole runs (O(runs), not O(chars))",
+                )
+                continue
+            bound = _per_char_range(expr)
+            if bound is not None:
+                yield self.finding(
+                    module,
+                    bound,
+                    f"per-character loop over range(….{bound.attr}) in a "
+                    "run-native module; process whole runs (O(runs), not "
+                    "O(chars))",
+                )

@@ -1,0 +1,284 @@
+"""General hygiene rules: the bug classes that keep resurfacing in reviews.
+
+* ``mutable-default-arg`` — a ``[]`` / ``{}`` / ``set()`` default is shared
+  across *all* calls of the function; mutating it leaks state between calls.
+* ``frozen-dataclass-mutation`` — assigning to ``self`` inside a
+  ``@dataclass(frozen=True)`` method raises at runtime, and
+  ``object.__setattr__`` outside construction (``__init__`` /
+  ``__post_init__`` / ``__new__``) silently breaks the immutability the
+  ``frozen=True`` promised to every holder of the value (the history
+  subsystem hands out frozen ``Version`` values precisely so they can be
+  cached and shared).
+* ``slots-attribute-escape`` — assigning an attribute not listed in
+  ``__slots__`` raises ``AttributeError`` at runtime on a fully slotted
+  class; on a partially slotted hierarchy it silently re-grows a ``__dict__``
+  and the memory win the slots existed for evaporates.  Only classes whose
+  bases are provably slotted (defined in the same module, or ``object``) are
+  checked — an external base may provide a ``__dict__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..rules import ModuleContext, Rule, register
+
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "Counter",
+    "OrderedDict",
+}
+
+#: Methods where object.__setattr__ on a frozen instance is the sanctioned
+#: construction-time idiom.
+_CONSTRUCTION_METHODS = {"__init__", "__post_init__", "__new__", "__setstate__"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultArgRule(Rule):
+    name = "mutable-default-arg"
+    description = (
+        "mutable default argument ([] / {} / set() ...) is shared across all "
+        "calls; use None and create the value inside the function"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {label!r}; the value is "
+                        "created once and shared by every call",
+                    )
+
+
+def _dataclass_decoration(node: ast.ClassDef) -> dict[str, bool]:
+    """``{'frozen': bool, 'slots': bool, 'is_dataclass': bool}`` for a class."""
+    info = {"frozen": False, "slots": False, "is_dataclass": False}
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name != "dataclass":
+            continue
+        info["is_dataclass"] = True
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg in ("frozen", "slots"):
+                    value = keyword.value
+                    if isinstance(value, ast.Constant) and value.value is True:
+                        info[keyword.arg] = True
+    return info
+
+
+def _literal_slots(node: ast.ClassDef) -> set[str] | None:
+    """The names in an explicit ``__slots__ = (...)`` assignment, if any."""
+    for stmt in node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                names: set[str] = set()
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    return {value.value}
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.add(element.value)
+                        else:
+                            return None  # computed slots: cannot check
+                    return names
+                return None
+    return None
+
+
+def _field_names(node: ast.ClassDef) -> set[str]:
+    """Annotated class-level names (= dataclass fields for a dataclass)."""
+    names: set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+    return names
+
+
+def _self_methods(node: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def _self_attribute_stores(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Attribute]:
+    def visit(node: ast.AST) -> Iterator[ast.Attribute]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested defs have their own self
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.ctx, (ast.Store, ast.Del))
+                and isinstance(child.value, ast.Name)
+                and child.value.id == "self"
+            ):
+                yield child
+            yield from visit(child)
+
+    yield from visit(func)
+
+
+@register
+class FrozenDataclassMutationRule(Rule):
+    name = "frozen-dataclass-mutation"
+    description = (
+        "assignment to self in a frozen dataclass method, or "
+        "object.__setattr__ outside construction: breaks the immutability "
+        "every holder of the value relies on"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        # Direct self-assignments inside frozen dataclass methods.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _dataclass_decoration(node)["frozen"]:
+                for method in _self_methods(node):
+                    if method.name in _CONSTRUCTION_METHODS:
+                        continue
+                    for store in _self_attribute_stores(method):
+                        yield self.finding(
+                            module,
+                            store,
+                            f"assignment to self.{store.attr} in frozen "
+                            f"dataclass {node.name!r} (method "
+                            f"{method.name!r}) raises FrozenInstanceError at "
+                            "runtime",
+                        )
+        # object.__setattr__ anywhere outside construction methods.
+        yield from self._setattr_escapes(module)
+
+    def _setattr_escapes(self, module: ModuleContext) -> Iterator[Finding]:
+        def visit(node: ast.AST, in_construction: bool) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                child_in_construction = in_construction
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    child_in_construction = child.name in _CONSTRUCTION_METHODS
+                if (
+                    not child_in_construction
+                    and isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "__setattr__"
+                    and isinstance(child.func.value, ast.Name)
+                    and child.func.value.id == "object"
+                ):
+                    yield self.finding(
+                        module,
+                        child,
+                        "object.__setattr__ outside __init__/__post_init__ "
+                        "bypasses frozen-dataclass immutability; holders of "
+                        "the value assume it never changes",
+                    )
+                yield from visit(child, child_in_construction)
+
+        yield from visit(module.tree, False)
+
+
+@register
+class SlotsAttributeEscapeRule(Rule):
+    name = "slots-attribute-escape"
+    description = (
+        "assignment to an attribute not listed in __slots__; raises at "
+        "runtime on a fully slotted class, silently re-grows a __dict__ "
+        "otherwise"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        classes: dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        slots_of: dict[str, set[str] | None] = {}
+
+        def resolve_slots(name: str, seen: frozenset[str] = frozenset()) -> set[str] | None:
+            """Own + inherited slots, or None if the hierarchy is not provably
+            fully slotted (external base, computed slots, cycles)."""
+            if name in seen:
+                return None
+            if name in slots_of:
+                return slots_of[name]
+            node = classes.get(name)
+            if node is None:
+                return None
+            decoration = _dataclass_decoration(node)
+            if decoration["slots"]:
+                own: set[str] | None = _field_names(node)
+            else:
+                own = _literal_slots(node)
+            if own is None:
+                slots_of[name] = None
+                return None
+            combined = set(own)
+            for base in node.bases:
+                if isinstance(base, ast.Name) and base.id == "object":
+                    continue
+                base_name = base.id if isinstance(base, ast.Name) else None
+                inherited = (
+                    resolve_slots(base_name, seen | {name}) if base_name else None
+                )
+                if inherited is None:
+                    slots_of[name] = None
+                    return None
+                combined |= inherited
+            slots_of[name] = combined
+            return combined
+
+        for name, node in classes.items():
+            slots = resolve_slots(name)
+            if slots is None or "__dict__" in slots:
+                continue
+            allowed = slots | {"__class__"}
+            for method in _self_methods(node):
+                for store in _self_attribute_stores(method):
+                    if store.attr not in allowed and not (
+                        store.attr.startswith("__") and store.attr.endswith("__")
+                    ):
+                        yield self.finding(
+                            module,
+                            store,
+                            f"self.{store.attr} is not in {name}.__slots__ "
+                            f"(= {sorted(slots)}); the assignment raises "
+                            "AttributeError on a fully slotted class",
+                        )

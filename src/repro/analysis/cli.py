@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro.analysis [paths ...]``.
+
+Exit status is 0 when every finding is suppressed or baselined, 1 when
+actionable findings remain (or a file failed to parse), 2 on usage errors —
+so the CI job gates directly on the exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import Baseline
+from .driver import run_analysis
+from .reporters import render_json, render_text
+from .rules import all_rules
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the repo's invariant-aware lint rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline JSON of grandfathered findings (default: "
+            f"{DEFAULT_BASELINE} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help=(
+            "write every current finding to FILE as a new baseline (each "
+            "entry then needs a hand-written justification) and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined and suppressed findings (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule battery and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            scope = ", ".join(rule.include) if rule.include else "all files"
+            print(f"{rule.name}  [{scope}]")
+            print(f"    {rule.description}")
+        return 0
+
+    if args.select:
+        wanted = {name.strip() for name in args.select.split(",") if name.strip()}
+        unknown = wanted - {rule.name for rule in rules}
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.name in wanted]
+    if args.ignore:
+        dropped = {name.strip() for name in args.ignore.split(",") if name.strip()}
+        rules = [rule for rule in rules if rule.name not in dropped]
+
+    baseline: Baseline | None = None
+    if not args.no_baseline and args.write_baseline is None:
+        baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+        if baseline_path.exists():
+            baseline = Baseline.load(baseline_path)
+        elif args.baseline:
+            print(f"baseline file not found: {baseline_path}", file=sys.stderr)
+            return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"no such path(s): {', '.join(str(p) for p in missing)}", file=sys.stderr
+        )
+        return 2
+
+    result = run_analysis(paths, rules=rules, baseline=baseline)
+
+    if args.write_baseline is not None:
+        new_baseline = Baseline.from_findings(
+            result.findings, justification="TODO: justify or fix"
+        )
+        new_baseline.save(Path(args.write_baseline))
+        print(
+            f"wrote {len(result.findings)} entr(y/ies) to {args.write_baseline}; "
+            "replace every TODO justification before committing"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1

@@ -1,0 +1,62 @@
+"""Finding: one rule violation at one source location.
+
+A finding's identity for baselining purposes is its :attr:`fingerprint` —
+a hash of the rule name, the file path and the *text* of the offending line
+(normalised for whitespace), deliberately excluding the line number so that
+unrelated edits above a grandfathered finding do not invalidate the baseline.
+Two identical lines in the same file share a fingerprint; the baseline
+therefore stores one entry per occurrence and entries are consumed
+multiset-style (see :mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+def _normalise(snippet: str) -> str:
+    return " ".join(snippet.split())
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        rule: registry name of the rule that fired (kebab-case).
+        path: posix-style path of the file, as given to the driver.
+        line: 1-based line number of the violation.
+        col: 0-based column offset.
+        message: human-readable explanation, including the invariant guarded.
+        snippet: the offending source line, stripped.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline file."""
+        payload = "\x00".join((self.rule, self.path, _normalise(self.snippet)))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,72 @@
+"""Per-line suppression comments.
+
+A finding is suppressed by a comment on the *same physical line*::
+
+    self.port = sock.getsockname()[1]  # lint: disable=await-state-race -- why
+
+``disable=`` takes a comma-separated list of rule names; a bare
+``# lint: disable`` silences every rule on that line.  Everything after the
+rule list is free-form justification (encouraged — the fixture tests assert
+the mechanism, reviewers read the why).
+
+Comments are found with :mod:`tokenize`, so a ``# lint:`` inside a string
+literal is never mistaken for a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["Suppressions", "collect_suppressions", "ALL_RULES"]
+
+#: Sentinel meaning "every rule" in a suppression set.
+ALL_RULES = "*"
+
+#: Rule names are kebab-case; the list stops at the first token that is not a
+#: comma-separated rule name, so free-form justification may follow.
+_DIRECTIVE = re.compile(r"#\s*lint:\s*disable(?:=([\w\-]+(?:\s*,\s*[\w\-]+)*))?")
+
+
+class Suppressions:
+    """Map of line number -> set of suppressed rule names (or ``{'*'}``)."""
+
+    def __init__(self) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        #: Count of findings actually silenced (filled in by the driver).
+        self.used = 0
+
+    def add(self, line: int, rules: set[str]) -> None:
+        self._by_line.setdefault(line, set()).update(rules)
+
+    def covers(self, line: int, rule: str) -> bool:
+        rules = self._by_line.get(line)
+        if not rules:
+            return False
+        return ALL_RULES in rules or rule in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Parse every ``# lint: disable`` comment in ``source``."""
+    suppressions = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if match is None:
+                continue
+            names = match.group(1)
+            if names is None:
+                suppressions.add(token.start[0], {ALL_RULES})
+            else:
+                rules = {part.strip() for part in names.split(",") if part.strip()}
+                suppressions.add(token.start[0], rules or {ALL_RULES})
+    except tokenize.TokenError:  # unterminated string etc.; AST parse will
+        pass  # have failed too, and the driver reports that instead.
+    return suppressions

@@ -236,7 +236,7 @@ class EventGraph:
         if listener in self._listeners:
             self._listeners.remove(listener)
 
-    def _notify(self, method: str, *args) -> None:
+    def _notify(self, method: str, *args: object) -> None:
         for listener in self._listeners:
             hook = getattr(listener, method, None)
             if hook is not None:

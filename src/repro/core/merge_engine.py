@@ -56,6 +56,7 @@ fuzzer checks against the per-character oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..rope import Rope
 from .critical_versions import CriticalCutTracker, latest_critical_cut_before
@@ -186,7 +187,7 @@ class MergeEngine:
         self,
         oplog: OpLog,
         rope: Rope,
-        walker_options: dict,
+        walker_options: dict[str, Any],
         *,
         incremental: bool = True,
     ) -> None:
@@ -604,7 +605,7 @@ class MergeEngine:
             self.stats.checkpoints_dropped += 1
 
     @property
-    def walker_options(self) -> dict:
+    def walker_options(self) -> dict[str, Any]:
         """The walker configuration this engine was built with (a copy)."""
         return dict(self._walker_options)
 

@@ -242,9 +242,9 @@ Item = Union[CrdtRecord, PlaceholderPiece]
 #: An origin reference is ``None`` (document start/end), an :class:`EventId`
 #: naming one character of a record run, or a ``('ph', original_offset)``
 #: tuple naming a character that is (or was) inside the placeholder.
-OriginRef = Union[None, EventId, tuple]
+OriginRef = Union[None, EventId, "tuple[str, int]"]
 
 
-def placeholder_origin(original_offset: int) -> tuple:
+def placeholder_origin(original_offset: int) -> tuple[str, int]:
     """Build an origin reference to a character inside the placeholder."""
     return ("ph", original_offset)

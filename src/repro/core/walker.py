@@ -394,7 +394,7 @@ class EgWalker:
         return self.replay_text(subset)
 
     # ------------------------------------------------------------------
-    def _make_backend(self, placeholder_length: int):
+    def _make_backend(self, placeholder_length: int) -> TreeSequence | ListSequence:
         if self.backend == "tree":
             return TreeSequence(placeholder_length)
         return ListSequence(placeholder_length)

@@ -27,13 +27,14 @@ from ..core.event_graph import EventGraph
 from ..core.ids import EventId
 from ..core.internal_state import InternalState
 from ..core.order_statistic_tree import TreeSequence
+from ..core.records import OriginRef
 from ..core.topo_sort import sort_branch_aware
 from .list_crdt import CrdtDeleteOp, CrdtInsertOp, CrdtOp
 
 __all__ = ["event_graph_to_crdt_ops"]
 
 
-def _origin_id(ref) -> EventId | None:
+def _origin_id(ref: OriginRef) -> EventId | None:
     """Map an internal-state origin reference to a character id (or None)."""
     if ref is None:
         return None

@@ -27,7 +27,7 @@ from ..core.event_graph import EventGraph
 from ..core.ids import EventId
 from ..core.internal_state import InternalState
 from ..core.order_statistic_tree import TreeSequence
-from ..core.records import CrdtRecord
+from ..core.records import CrdtRecord, OriginRef
 from ..core.topo_sort import sort_branch_aware
 from ..storage.varint import ByteReader, ByteWriter
 from .list_crdt import CrdtItem
@@ -230,7 +230,7 @@ class RefCRDTDocument:
         ]
 
 
-def _origin_id(ref) -> EventId | None:
+def _origin_id(ref: OriginRef) -> EventId | None:
     if ref is None:
         return None
     if isinstance(ref, EventId):

@@ -36,7 +36,7 @@ operation                                             cost
 from __future__ import annotations
 
 import difflib
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..core.causal_graph import CausalGraph
 from ..core.event_graph import EventGraph
@@ -95,7 +95,7 @@ class History:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def over_graph(cls, graph: EventGraph, **walker_options) -> "History":
+    def over_graph(cls, graph: EventGraph, **walker_options: Any) -> "History":
         """A standalone history over a bare event graph (e.g. one decoded
         from storage).  Builds a read-only ``OpLog``/engine pair around the
         graph; O(1) — nothing is replayed until a query asks for text.

@@ -32,9 +32,12 @@ The empty version (:data:`ROOT`) denotes the document before any event.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..core.ids import EventId
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..core.event_graph import EventGraph
 
 __all__ = ["Version", "ROOT"]
 
@@ -64,7 +67,7 @@ class Version:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def frontier(cls, graph) -> "Version":
+    def frontier(cls, graph: "EventGraph") -> "Version":
         """The current version of an :class:`~repro.core.event_graph.EventGraph`.
 
         Each frontier event is represented by the id of its last character

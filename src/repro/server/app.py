@@ -86,15 +86,29 @@ class CollabServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "CollabServer":
-        self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
-        self.port = self._server.sockets[0].getsockname()[1]
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        if self._server is not None:
+            # A concurrent start() won the race while we were suspended in
+            # start_server(); keep the winner, release our socket.
+            server.close()
+            await server.wait_closed()
+            raise RuntimeError("server already started")
+        self._server = server
+        # Resolving port=0 to the ephemerally bound port: the write is derived
+        # from this call's own socket, and re-entry is guarded above.
+        self.port = server.sockets[0].getsockname()[1]  # lint: disable=await-state-race
         return self
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Detach before the first await: a stop() that suspended holding the
+        # server reference used to null self._server on resume, clobbering
+        # (and leaking) a server started concurrently in the meantime.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:

@@ -274,10 +274,12 @@ class WebSocketConnection:
             try:
                 frame = await self._read_frame()
             except (asyncio.IncompleteReadError, ConnectionError):
+                # Monotonic latch: closed only transitions False -> True, so a
+                # concurrent close() writes the same value — no lost update.
                 self.closed = True
                 return None
             if frame is None:
-                self.closed = True
+                self.closed = True  # monotonic latch: see comment above
                 return None
             opcode, fin, payload = frame
             if opcode == OP_PING:

@@ -73,12 +73,8 @@ class TestLocalEditing:
         assert doc.local_version == (1,)
         assert len(doc.oplog) == 2
 
-    def test_oplog_version_property_is_deprecated(self):
-        doc = Document("alice")
-        doc.insert(0, "ab")
-        with pytest.warns(DeprecationWarning):
-            assert doc.oplog.version == (0,)
-        assert doc.oplog.local_version == (0,)
+    # (OpLog.version deprecation parity is pinned in
+    # tests/test_deprecation_shims.py::TestOpLogShims.)
 
 
 class TestMerging:
@@ -269,6 +265,10 @@ class TestHistory:
 
 
 class TestDeprecatedIndexShims:
+    # Warning + value parity for all four deprecated snapshot shims lives in
+    # tests/test_deprecation_shims.py (the one file the deprecated-snapshot-api
+    # lint rule allows to touch them).  Only the index-tuple overload of the
+    # canonical text_at is pinned here.
     def test_text_at_with_index_tuples_warns_but_works(self):
         doc = Document("alice", coalesce_local_runs=False)
         doc.insert(0, "abc")
@@ -276,27 +276,6 @@ class TestDeprecatedIndexShims:
         doc.insert(3, "def")
         with pytest.warns(DeprecationWarning):
             assert doc.text_at(version_after_abc) == "abc"
-
-    def test_text_at_remote_warns_but_works(self):
-        doc = Document("alice")
-        doc.insert(0, "abc")
-        snapshot = doc.version().ids
-        doc.insert(3, "def")
-        with pytest.warns(DeprecationWarning):
-            assert doc.text_at_remote(snapshot) == "abc"
-
-    def test_remote_version_warns_but_works(self):
-        doc = Document("alice")
-        doc.insert(0, "ab")
-        with pytest.warns(DeprecationWarning):
-            assert doc.remote_version() == doc.version().ids
-
-    def test_history_versions_warns_but_works(self):
-        doc = Document("alice")
-        doc.insert(0, "xy")
-        doc.delete(0, 1)
-        with pytest.warns(DeprecationWarning):
-            assert doc.history_versions() == [(0,), (1,)]
 
 
 class TestWalkerConfigurationsOnDocuments:

@@ -250,3 +250,52 @@ class TestLoadgen:
                 assert all(v == 0 for v in result.leaks.values()), result.leaks
 
         run(scenario())
+
+
+class TestLifecycleRaces:
+    """Regressions for the read→await→write interleavings the
+    ``await-state-race`` lint rule flagged in the server lifecycle."""
+
+    def test_restart_during_suspended_stop_is_not_clobbered(self):
+        # stop() used to null self._server only after wait_closed() resumed,
+        # clobbering (and leaking) a server started concurrently during the
+        # suspension.  The fix detaches the reference before the first await.
+        async def scenario():
+            server = CollabServer()
+            await server.start()
+            stop_task = asyncio.create_task(server.stop())
+            await asyncio.sleep(0)  # let stop() detach and suspend in close
+            await server.start()  # restart while the old stop is in flight
+            await stop_task
+            # The restarted listener survived the resumed stop() and serves.
+            status, payload = await http_request(
+                server.host, server.port, "GET", "/v1/stats"
+            )
+            assert status == 200 and isinstance(payload, dict)
+            await server.stop()
+
+        run(scenario())
+
+    def test_concurrent_stops_are_idempotent(self):
+        async def scenario():
+            server = CollabServer()
+            await server.start()
+            await asyncio.gather(server.stop(), server.stop(), server.stop())
+            with pytest.raises(OSError):
+                await http_request(server.host, server.port, "GET", "/v1/stats")
+
+        run(scenario())
+
+    def test_double_start_raises_and_keeps_the_first_listener(self):
+        async def scenario():
+            server = CollabServer()
+            await server.start()
+            port = server.port
+            with pytest.raises(RuntimeError):
+                await server.start()
+            assert server.port == port
+            status, _ = await http_request(server.host, port, "GET", "/v1/stats")
+            assert status == 200
+            await server.stop()
+
+        run(scenario())
