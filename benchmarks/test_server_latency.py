@@ -31,10 +31,11 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import tempfile
 
 import pytest
 
-from repro.server import CollabServer, run_loadgen, run_trace_replay
+from repro.server import CollabServer, DurabilityOptions, run_loadgen, run_trace_replay
 from repro.traces.datasets import get_trace
 
 RESULT_PATH = os.path.join(
@@ -46,6 +47,10 @@ CLIENT_COUNTS = tuple(
 EDITS_PER_CLIENT = int(os.environ.get("REPRO_SERVER_BENCH_EDITS", "30"))
 TRACE_SCALE = float(os.environ.get("REPRO_SERVER_TRACE_SCALE", "0.1"))
 REPLAY_TRACE = "A1"
+#: Durability ablation: the same live load with the WAL off, with fsync
+#: batched by the group-commit loop, and with an fsync per ingested delta.
+DURABILITY_MODES = ("off", "group", "always")
+ABLATION_CLIENTS = int(os.environ.get("REPRO_SERVER_BENCH_ABLATION_CLIENTS", "4"))
 
 
 async def _collect_rows() -> list[dict]:
@@ -72,9 +77,46 @@ async def _collect_rows() -> list[dict]:
     return rows
 
 
+async def _collect_durability_rows() -> list[dict]:
+    """The same live WS load at each durability setting, WAL stats attached.
+
+    Wall-clock cost of fsync varies wildly across filesystems, so the gates
+    below are structural (fsync counts, record counts, convergence); the
+    edits/sec and latency columns land in the JSON for the trajectory.
+    """
+    rows = []
+    for mode in DURABILITY_MODES:
+        with tempfile.TemporaryDirectory() as tmp:
+            kwargs = {}
+            if mode != "off":
+                kwargs = dict(
+                    data_dir=tmp,
+                    durability=DurabilityOptions(
+                        fsync_policy=mode, group_interval=0.01
+                    ),
+                )
+            async with CollabServer(**kwargs) as server:
+                result = await run_loadgen(
+                    server.host,
+                    server.port,
+                    doc="ablation",
+                    clients=ABLATION_CLIENTS,
+                    edits_per_client=EDITS_PER_CLIENT,
+                    edit_interval=0.002,
+                    transport="ws",
+                )
+                row = result.as_row()
+                row["durability"] = mode
+                if mode != "off":
+                    row["wal"] = server.room("ablation").storage.stats.as_dict()
+            rows.append(row)
+    return rows
+
+
 @pytest.fixture(scope="module")
 def latency_rows():
     rows = asyncio.run(_collect_rows())
+    durability_rows = asyncio.run(_collect_durability_rows())
     payload = {
         "benchmark": "server_latency",
         "client_counts": list(CLIENT_COUNTS),
@@ -82,10 +124,17 @@ def latency_rows():
         "replay_trace": REPLAY_TRACE,
         "replay_trace_scale": TRACE_SCALE,
         "rows": rows,
+        "durability_rows": durability_rows,
     }
     with open(RESULT_PATH, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     return rows
+
+
+@pytest.fixture(scope="module")
+def durability_rows(latency_rows):
+    with open(RESULT_PATH, encoding="utf-8") as fh:
+        return json.load(fh)["durability_rows"]
 
 
 def _live_rows(rows):
@@ -136,8 +185,35 @@ def test_trace_replay_with_eight_plus_ws_clients(latency_rows):
     assert row["leaked_events"] == 0, row
 
 
+def test_durability_ablation_converges_in_every_mode(durability_rows):
+    """Durability must never cost correctness: the identical live load
+    converges byte-identically with the WAL off, group-committed, and
+    fsynced per delta."""
+    assert [row["durability"] for row in durability_rows] == list(DURABILITY_MODES)
+    for row in durability_rows:
+        assert row["converged"], row
+        assert row["leaked_events"] == 0, row
+
+
+def test_durability_ablation_wal_accounting(durability_rows):
+    """Structural gates on the WAL stats: both durable modes persisted every
+    ingested delta, and fsync-per-delta paid at least as many fsyncs as the
+    group-commit loop (that gap is the latency headroom the group policy
+    buys)."""
+    by_mode = {row["durability"]: row for row in durability_rows}
+    assert "wal" not in by_mode["off"]
+    group, always = by_mode["group"]["wal"], by_mode["always"]["wal"]
+    for wal in (group, always):
+        assert wal["records_appended"] > 0, wal
+        assert wal["events_appended"] > 0, wal
+        assert wal["torn_writes"] == 0, wal
+    assert always["fsyncs"] >= always["records_appended"]
+    assert always["fsyncs"] >= group["fsyncs"]
+
+
 def test_result_file_written(latency_rows):
     with open(RESULT_PATH, encoding="utf-8") as fh:
         payload = json.load(fh)
     assert payload["benchmark"] == "server_latency"
     assert len(payload["rows"]) == len(CLIENT_COUNTS) + 1
+    assert len(payload["durability_rows"]) == len(DURABILITY_MODES)

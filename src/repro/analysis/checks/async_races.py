@@ -239,7 +239,7 @@ class AwaitStateRaceRule(Rule):
         "same attribute without re-reading: a concurrent task's update is "
         "silently clobbered"
     )
-    include = ("repro/server/",)
+    include = ("repro/server/", "repro/faults/")
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -1,0 +1,24 @@
+"""Deterministic fault-injection harness (seeded plans, injectors, crash
+points) for the collaboration stack.  See :mod:`repro.faults.plan`."""
+
+from .plan import (
+    CRASH_POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    InjectedCrash,
+    MessageFate,
+    PartitionWindow,
+    TransportFate,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "InjectedCrash",
+    "MessageFate",
+    "PartitionWindow",
+    "TransportFate",
+]

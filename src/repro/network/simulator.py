@@ -25,6 +25,7 @@ from typing import Iterable
 
 from ..core.document import Document
 from ..core.oplog import RemoteEvent
+from ..faults import FaultInjector, FaultPlan
 
 __all__ = [
     "Message",
@@ -158,9 +159,23 @@ class NetworkSimulator:
     """Virtual-time message delivery between replicas."""
 
     def __init__(
-        self, default_latency: float = 0.05, *, document_options: dict | None = None
+        self,
+        default_latency: float = 0.05,
+        *,
+        document_options: dict | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
     ) -> None:
+        """
+        Args:
+            faults: a seeded :class:`~repro.faults.FaultPlan` (or pre-built
+                injector).  Every enqueued message consults it: scheduled
+                :class:`~repro.faults.PartitionWindow`\\ s (in virtual time)
+                and probabilistic drops discard the message, duplicates
+                enqueue it twice, delays/reorders stretch its latency.
+                Dropped traffic is repaired by :meth:`anti_entropy`.
+        """
         self.default_latency = default_latency
+        self.faults = faults.injector() if isinstance(faults, FaultPlan) else faults
         self.document_options = dict(document_options or {})
         self.replicas: dict[str, SimulatedReplica] = {}
         self.links: dict[tuple[str, str], float] = {}
@@ -198,11 +213,29 @@ class NetworkSimulator:
         self.partitioned.discard((b, a))
         # Reliable broadcast: resend everything the other side might have missed.
         for x, y in ((a, b), (b, a)):
-            sender = self.replicas[x]
-            recipient = self.replicas[y]
-            missing = sender.document.events_since(recipient.document.version())
-            for event in missing:
-                self._enqueue(x, y, event)
+            self._resync_pair(x, y)
+
+    def _resync_pair(self, sender_name: str, recipient_name: str) -> None:
+        """Re-send everything ``recipient`` is missing relative to ``sender``
+        (computed from document versions, so it repairs any kind of loss)."""
+        sender = self.replicas[sender_name]
+        recipient = self.replicas[recipient_name]
+        missing = sender.document.events_since(recipient.document.version())
+        for event in missing:
+            self._enqueue(sender_name, recipient_name, event)
+
+    def anti_entropy(self) -> None:
+        """One repair round: every linked pair resyncs missing events.
+
+        This is the reliable-broadcast guarantee for *injected* loss (fault
+        plans drop messages without the bookkeeping :meth:`partition` keeps):
+        whatever was dropped is re-derived from document state and resent.
+        Repair traffic goes through :meth:`_enqueue` and is therefore itself
+        subject to fault injection — run repeated rounds (each advances the
+        schedule deterministically) until the session converges.
+        """
+        for a, b in list(self.links.keys()):
+            self._resync_pair(a, b)
 
     # -- message flow -----------------------------------------------------
     def broadcast(self, sender: str, events: Iterable[RemoteEvent]) -> None:
@@ -233,16 +266,24 @@ class NetworkSimulator:
         if (sender, recipient) in self.partitioned:
             return
         latency = self.links.get((sender, recipient), self.default_latency)
-        heapq.heappush(
-            self._queue,
-            Message(
-                deliver_at=self.now + latency,
-                sequence=next(self._sequence),
-                sender=sender,
-                recipient=recipient,
-                event=event,
-            ),
-        )
+        copies = 1
+        if self.faults is not None:
+            fate = self.faults.message_fate(sender, recipient, self.now)
+            if fate.dropped:
+                return
+            copies = fate.copies
+            latency += fate.extra_delay
+        for _ in range(copies):
+            heapq.heappush(
+                self._queue,
+                Message(
+                    deliver_at=self.now + latency,
+                    sequence=next(self._sequence),
+                    sender=sender,
+                    recipient=recipient,
+                    event=event,
+                ),
+            )
 
     # -- time -------------------------------------------------------------
     def advance(self, duration: float) -> int:
@@ -305,9 +346,12 @@ def full_mesh(
     latency: float = 0.05,
     *,
     document_options: dict | None = None,
+    faults: "FaultPlan | FaultInjector | None" = None,
 ) -> NetworkSimulator:
     """A peer-to-peer topology: every replica talks to every other replica."""
-    simulator = NetworkSimulator(default_latency=latency, document_options=document_options)
+    simulator = NetworkSimulator(
+        default_latency=latency, document_options=document_options, faults=faults
+    )
     names = list(names)
     for name in names:
         simulator.add_replica(name)

@@ -17,14 +17,24 @@ batch delivery — into a network service:
   (cursor presence disabled there, like sysreptor's fallback).
 * :mod:`repro.server.loadgen` — a load-generator client that replays
   trace-suite sessions over real sockets and measures delivery latency.
+* :mod:`repro.server.wal` — crash-safe durable rooms: a varint-framed,
+  CRC-guarded write-ahead log per room with group-commit fsync, snapshot
+  compaction and torn-tail-tolerant recovery.
 
 Run a standalone server with ``python -m repro.server``.
 """
 
 from .app import CollabServer
-from .loadgen import LoadgenResult, run_loadgen, run_loadgen_sync, run_trace_replay
+from .loadgen import (
+    LoadgenResult,
+    ReconnectPolicy,
+    run_loadgen,
+    run_loadgen_sync,
+    run_trace_replay,
+)
 from .protocol import ProtocolError, decode_frame, encode_frame
 from .session import DocumentRoom, Session
+from .wal import DurabilityOptions, RecoveryInfo, RoomStorage, recover_document
 
 __all__ = [
     "CollabServer",
@@ -34,6 +44,11 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "LoadgenResult",
+    "ReconnectPolicy",
+    "DurabilityOptions",
+    "RecoveryInfo",
+    "RoomStorage",
+    "recover_document",
     "run_loadgen",
     "run_loadgen_sync",
     "run_trace_replay",

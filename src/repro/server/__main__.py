@@ -6,18 +6,40 @@ import argparse
 import asyncio
 
 from .app import CollabServer
+from .wal import DurabilityOptions
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description="repro collaboration server")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8760)
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="directory for durable rooms (per-room WAL + snapshots); "
+        "omit for in-memory rooms",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("none", "group", "always"),
+        default="group",
+        help="WAL fsync policy when --data-dir is set (default: group commit)",
+    )
     args = parser.parse_args()
 
     async def serve() -> None:
-        server = CollabServer(args.host, args.port)
+        server = CollabServer(
+            args.host,
+            args.port,
+            data_dir=args.data_dir,
+            durability=DurabilityOptions(fsync_policy=args.fsync),
+        )
         await server.start()
-        print(f"serving on ws://{args.host}:{server.port}/v1/ws (Ctrl-C to stop)")
+        durable = f", rooms persisted to {args.data_dir}" if args.data_dir else ""
+        print(
+            f"serving on ws://{args.host}:{server.port}/v1/ws{durable} "
+            "(Ctrl-C to stop)"
+        )
         try:
             await asyncio.Event().wait()
         finally:

@@ -29,8 +29,9 @@ import asyncio
 import json
 import random
 import time
+import zlib
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from ..core.document import Document
 from ..core.event_graph import expand_to_chars
@@ -52,6 +53,7 @@ from .wire import WebSocketConnection, connect_websocket, read_http_request
 
 __all__ = [
     "LoadgenResult",
+    "ReconnectPolicy",
     "CollabClient",
     "PollClient",
     "run_loadgen",
@@ -61,6 +63,32 @@ __all__ = [
 ]
 
 _WORDS = ["alpha ", "beta ", "gamma ", "delta ", "epsilon ", "zeta "]
+
+
+@dataclass(frozen=True, slots=True)
+class ReconnectPolicy:
+    """Jittered exponential backoff for client auto-reconnect.
+
+    A client with a policy survives connection cuts, server crashes and
+    backpressure sheds: it redials, says ``hello`` with its **current**
+    version (so the server ships only the missed suffix) and replays its own
+    complete local history (the server's span-based dedup makes the overlap
+    a no-op, while anything the server lost to a crash is restored).
+    """
+
+    max_attempts: int = 8
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    #: Fraction of each delay that is randomised away (0 = fixed backoff).
+    jitter: float = 0.5
+
+    def delays(self, rng: random.Random) -> Iterator[float]:
+        """Yield up to ``max_attempts`` backoff delays, jittered by ``rng``."""
+        delay = self.base_delay
+        for _ in range(self.max_attempts):
+            yield delay * (1.0 - self.jitter * rng.random())
+            delay = min(delay * self.multiplier, self.max_delay)
 
 
 @dataclass
@@ -168,7 +196,11 @@ class _ReplicaCore:
         self.presence_seen: dict[str, tuple] = {}
         self.presence_received = 0
         self.errors: list[dict[str, Any]] = []
+        #: Server-initiated byes (e.g. a backpressure shed's resumable bye).
+        self.byes: list[dict[str, Any]] = []
         self.run_events_sent = 0
+        #: Successful re-establishments after a lost connection.
+        self.reconnects = 0
         self.delta_arrived = asyncio.Event()
 
     def _apply_batch(self, events: list[RemoteEvent]) -> None:
@@ -198,6 +230,8 @@ class _ReplicaCore:
             self.presence_received += 1
         elif frame["type"] == "error":
             self.errors.append(frame)
+        elif frame["type"] == "bye":
+            self.byes.append(frame)
 
     def take_local_edit(self, before_seq: int) -> list[RemoteEvent]:
         """Export (and account) the suffix a local edit produced."""
@@ -212,20 +246,42 @@ class _ReplicaCore:
 
 
 class CollabClient(_ReplicaCore):
-    """A WebSocket collaboration client (the fast path)."""
+    """A WebSocket collaboration client (the fast path).
+
+    With a :class:`ReconnectPolicy` the client is *self-healing*: a dropped
+    socket (cut, crash, shed) triggers jittered-backoff redials from the
+    read loop, resuming from the last locally applied version.
+    """
 
     transport = "ws"
 
-    def __init__(self, host: str, port: int, doc: str, agent: str, **kwargs) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        doc: str,
+        agent: str,
+        *,
+        reconnect: ReconnectPolicy | None = None,
+        **kwargs,
+    ) -> None:
         super().__init__(agent, **kwargs)
         self.host = host
         self.port = port
         self.doc = doc
+        self.reconnect = reconnect
         self.session_id: str | None = None
         self.ws: WebSocketConnection | None = None
         self._reader_task: asyncio.Task | None = None
+        self._closing = False
+        self._reconnect_rng = random.Random(zlib.crc32(agent.encode("utf-8")))
 
     async def connect(self) -> None:
+        await self._open_session()
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _open_session(self) -> None:
+        """Dial, ``hello`` with the current version, await ``welcome``."""
         self.ws = await connect_websocket(self.host, self.port, "/v1/ws")
         await self.ws.send_text(
             encode_frame(hello_frame(self.doc, self.agent, self.document.version().as_tuples()))
@@ -235,7 +291,6 @@ class CollabClient(_ReplicaCore):
             raise ConnectionError(f"server rejected hello: {welcome}")
         assert welcome["type"] == "welcome" and welcome["protocol"] == PROTOCOL_VERSION
         self.session_id = welcome["session"]
-        self._reader_task = asyncio.create_task(self._read_loop())
 
     async def _recv_required(self) -> str:
         text = await self.ws.recv_text()
@@ -245,10 +300,42 @@ class CollabClient(_ReplicaCore):
 
     async def _read_loop(self) -> None:
         while True:
-            text = await self.ws.recv_text()
+            try:
+                text = await self.ws.recv_text()
+            except ConnectionError:
+                text = None
             if text is None:
-                return
+                if self._closing or self.reconnect is None:
+                    return
+                if not await self._redial():
+                    return
+                continue
             self.handle_frame(decode_frame(text))
+
+    async def _redial(self) -> bool:
+        """Jittered-backoff reconnect; returns False when attempts run out
+        (or the client is closing)."""
+        assert self.reconnect is not None
+        for delay in self.reconnect.delays(self._reconnect_rng):
+            await asyncio.sleep(delay)
+            if self._closing:
+                return False
+            try:
+                await self._open_session()
+            except (ConnectionError, OSError, AssertionError):
+                continue
+            self.reconnects += 1
+            # The hello's version already fetched the missed suffix; replay
+            # our complete history so a crashed server recovers anything it
+            # lost (span dedup makes the overlap a clean no-op).
+            replay = self.document.oplog.export_since_seq(self.agent, 0)
+            if replay:
+                try:
+                    await self.ws.send_text(encode_frame(delta_frame(replay)))
+                except ConnectionError:
+                    continue
+            return True
+        return False
 
     # -- editing -------------------------------------------------------
     async def insert(self, pos: int, content: str) -> None:
@@ -265,18 +352,30 @@ class CollabClient(_ReplicaCore):
         await self._send_events(list(events))
 
     async def _send_events(self, events: list[RemoteEvent]) -> None:
-        if events:
+        if not events:
+            return
+        try:
             await self.ws.send_text(encode_frame(delta_frame(events)))
+        except ConnectionError:
+            if self.reconnect is None:
+                raise
+            # Lost with the connection; the reconnect replay re-ships them.
 
     async def send_presence(self) -> None:
-        await self.ws.send_text(
-            encode_frame(presence_frame(self.agent, self.document.version().as_tuples()))
-        )
+        try:
+            await self.ws.send_text(
+                encode_frame(presence_frame(self.agent, self.document.version().as_tuples()))
+            )
+        except ConnectionError:
+            if self.reconnect is None:
+                raise
+            # Presence is ephemeral: a cursor lost to a dead socket is moot.
 
     async def send_raw(self, text: str) -> None:
         await self.ws.send_text(text)
 
     async def close(self, *, send_bye: bool = True) -> None:
+        self._closing = True
         if self.ws is not None and send_bye and not self.ws.closed:
             try:
                 await self.ws.send_text(encode_frame(bye_frame()))
@@ -313,6 +412,7 @@ class PollClient(_ReplicaCore):
         agent: str,
         *,
         poll_wait: float = 0.25,
+        reconnect: ReconnectPolicy | None = None,
         **kwargs,
     ) -> None:
         super().__init__(agent, **kwargs)
@@ -320,11 +420,17 @@ class PollClient(_ReplicaCore):
         self.port = port
         self.doc = doc
         self.poll_wait = poll_wait
+        self.reconnect = reconnect
         self.session_id: str | None = None
         self._poll_task: asyncio.Task | None = None
         self._stopping = False
+        self._reconnect_rng = random.Random(zlib.crc32(agent.encode("utf-8")))
 
     async def connect(self) -> None:
+        await self._open_session()
+        self._poll_task = asyncio.create_task(self._poll_loop())
+
+    async def _open_session(self) -> None:
         status, payload = await http_request(
             self.host,
             self.port,
@@ -334,15 +440,16 @@ class PollClient(_ReplicaCore):
         )
         if status != 200:
             raise ConnectionError(f"connect failed ({status}): {payload}")
+        session_id = None
         for raw in payload["frames"]:
             frame = decode_frame(json.dumps(raw))
             if frame["type"] == "welcome":
-                self.session_id = frame["session"]
+                session_id = frame["session"]
             else:
                 self.handle_frame(frame)
-        if self.session_id is None:
+        if session_id is None:
             raise ConnectionError("connect response carried no welcome frame")
-        self._poll_task = asyncio.create_task(self._poll_loop())
+        self.session_id = session_id
 
     async def _poll_loop(self) -> None:
         while not self._stopping:
@@ -353,19 +460,52 @@ class PollClient(_ReplicaCore):
                 f"/v1/poll?session={self.session_id}&wait={self.poll_wait}",
             )
             if status != 200:
-                return
+                if self._stopping or self.reconnect is None:
+                    return
+                if not await self._redial():
+                    return
+                continue
             for raw in payload["frames"]:
                 self.handle_frame(decode_frame(json.dumps(raw)))
 
+    async def _redial(self) -> bool:
+        """Jittered-backoff re-``connect``; resumes from the local version
+        and replays local history (deduplicated server-side)."""
+        assert self.reconnect is not None
+        for delay in self.reconnect.delays(self._reconnect_rng):
+            await asyncio.sleep(delay)
+            if self._stopping:
+                return False
+            try:
+                await self._open_session()
+                self.reconnects += 1
+                replay = self.document.oplog.export_since_seq(self.agent, 0)
+                if replay:
+                    await self._send_frames([delta_frame(replay)])
+                return True
+            except (ConnectionError, OSError):
+                continue
+        return False
+
     async def _send_frames(self, frames: list[dict[str, Any]]) -> None:
-        status, payload = await http_request(
-            self.host,
-            self.port,
-            "POST",
-            f"/v1/send?session={self.session_id}",
-            {"frames": frames},
-        )
+        try:
+            status, payload = await http_request(
+                self.host,
+                self.port,
+                "POST",
+                f"/v1/send?session={self.session_id}",
+                {"frames": frames},
+            )
+        except (ConnectionError, OSError):
+            if self.reconnect is None:
+                raise
+            # Server unreachable (crash window); reconnect replay re-ships.
+            return
         if status != 200:
+            if self.reconnect is not None:
+                # Dead session (cut / shed / restart): the poll loop's redial
+                # re-establishes and replays; this upload is not lost.
+                return
             self.errors.append(payload if isinstance(payload, dict) else {"code": str(status)})
 
     async def insert(self, pos: int, content: str) -> None:

@@ -206,8 +206,21 @@ def ack_frame(accepted: int) -> dict[str, Any]:
     return {"type": "ack", "accepted": accepted}
 
 
-def bye_frame() -> dict[str, Any]:
-    return {"type": "bye"}
+def bye_frame(reason: str | None = None, resume: bool = False) -> dict[str, Any]:
+    """A teardown frame; optional fields make it *structured*.
+
+    ``reason`` says why the server ends the session (e.g.
+    ``"slow-consumer"`` for a backpressure shed), and ``resume=True`` tells
+    the client a reconnect-and-replay from its current version will fully
+    recover — the fields are additive, so a plain ``bye`` stays byte-for-byte
+    what it always was.
+    """
+    frame: dict[str, Any] = {"type": "bye"}
+    if reason is not None:
+        frame["reason"] = reason
+    if resume:
+        frame["resume"] = True
+    return frame
 
 
 # ----------------------------------------------------------------------

@@ -27,15 +27,17 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
-from dataclasses import dataclass
-from typing import Any, Iterable
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Iterable
 
 from ..core.document import Document
 from ..core.ids import EventId
 from ..core.oplog import RemoteEvent
+from ..faults import InjectedCrash
 from ..history import Version
 from ..network.causal_broadcast import CausalBuffer
-from .protocol import delta_frame, presence_frame, welcome_frame
+from .protocol import bye_frame, delta_frame, presence_frame, welcome_frame
+from .wal import RoomStorage
 
 __all__ = ["Session", "DocumentRoom", "RoomStats"]
 
@@ -58,6 +60,15 @@ class RoomStats:
     presence_updates: int = 0
     sessions_opened: int = 0
     sessions_closed: int = 0
+    #: Frames still queued when a disconnecting socket's final flush gave up
+    #: (slow socket); the client recovers them by reconnect + replay.
+    frames_abandoned: int = 0
+    #: Sessions dropped by backpressure shedding (queue over the cap).
+    sessions_shed: int = 0
+    #: Frames discarded when those sessions were shed.
+    frames_shed: int = 0
+    #: Idle long-poll sessions reclaimed by the periodic reaper.
+    sessions_reaped: int = 0
 
 
 class Session:
@@ -68,14 +79,28 @@ class Session:
         agent: the client's replica name (as announced in ``hello``).
         transport: ``"ws"`` or ``"poll"``; poll sessions are excluded from
             presence traffic.
+        max_queued_frames: backpressure cap — when the queue outgrows it the
+            session is **shed** (queue dropped, one resumable ``bye`` queued,
+            session closed) instead of growing without bound behind a slow
+            consumer.  0 disables shedding.
     """
 
-    def __init__(self, room: "DocumentRoom", agent: str, transport: str) -> None:
+    def __init__(
+        self,
+        room: "DocumentRoom",
+        agent: str,
+        transport: str,
+        *,
+        max_queued_frames: int = 0,
+    ) -> None:
         self.id = f"s{next(_session_counter)}"
         self.room = room
         self.agent = agent
         self.transport = transport
+        self.max_queued_frames = max_queued_frames
         self.closed = False
+        #: True once backpressure shed this session (it got a resumable bye).
+        self.shed = False
         self.last_seen = time.monotonic()
         #: Frames waiting for this client, in delivery order.
         self._queue: list[dict[str, Any]] = []
@@ -119,7 +144,37 @@ class Session:
         """Queue one non-delta frame (welcome / presence / error / bye)."""
         self._queue.append(frame)
         self.room.stats.frames_queued += 1
+        if (
+            self.max_queued_frames
+            and not self.shed
+            and len(self._queue) > self.max_queued_frames
+        ):
+            self._shed()
         self._wakeup.set()
+
+    def _shed(self) -> None:
+        """Backpressure: this client fell too far behind — drop its queue,
+        hand it one structured *resumable* ``bye`` and close the session.
+
+        The client's reconnect path replays from its locally applied version,
+        so nothing is lost; the room only sheds the memory.  The transport
+        handler observes ``closed``/``shed`` and performs the actual
+        ``disconnect`` — shedding fires inside the ingest fan-out, which is
+        iterating ``room.sessions``.
+        """
+        self.room.stats.frames_shed += len(self._queue)
+        self.room.stats.sessions_shed += 1
+        self._queue.clear()
+        self.shed = True
+        self._queue.append(bye_frame(reason="slow-consumer", resume=True))
+        self.close()
+
+    def requeue(self, frames: list[dict[str, Any]]) -> None:
+        """Put undelivered frames back at the queue head (a flush failed
+        mid-way); they are retried or counted as abandoned by the caller."""
+        if frames:
+            self._queue[0:0] = frames
+            self._wakeup.set()
 
     def _queue_delta(self, events: list[RemoteEvent]) -> None:
         self.queue_frame(delta_frame(events))
@@ -154,11 +209,41 @@ class Session:
 
 
 class DocumentRoom:
-    """One hosted document plus everything connected to it."""
+    """One hosted document plus everything connected to it.
 
-    def __init__(self, name: str, document_options: dict | None = None) -> None:
+    Args:
+        document: a pre-built server replica (the recovery path passes the
+            document rebuilt from snapshot + WAL); default is a fresh one.
+        storage: a :class:`~repro.server.wal.RoomStorage` — every ingested
+            batch is WAL-appended *before* it is fanned out to sessions.
+        faults: a :class:`~repro.faults.FaultInjector` consulted for injected
+            crash points around the WAL append.
+        on_crash: called (synchronously) when an injected crash fires, before
+            :class:`~repro.faults.InjectedCrash` is raised — the server binds
+            this to its abrupt-teardown path.
+        max_queued_frames: per-session backpressure cap (see
+            :class:`Session`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        document_options: dict | None = None,
+        *,
+        document: Document | None = None,
+        storage: RoomStorage | None = None,
+        faults: Any | None = None,
+        on_crash: Callable[[], None] | None = None,
+        max_queued_frames: int = 0,
+    ) -> None:
         self.name = name
-        self.document = Document(f"server::{name}", **(document_options or {}))
+        if document is None:
+            document = Document(f"server::{name}", **(document_options or {}))
+        self.document = document
+        self.storage = storage
+        self.faults = faults
+        self.on_crash = on_crash
+        self.max_queued_frames = max_queued_frames
         self.sessions: dict[str, Session] = {}
         #: Last announced cursor per agent (id-frontier positions).
         self.presence: dict[str, tuple[EventId, ...]] = {}
@@ -183,7 +268,9 @@ class DocumentRoom:
         """Open a session: seed its dedup state from the client's version and
         queue ``welcome`` + catch-up ``delta`` + current presence frames."""
         self.reap_idle_sessions()
-        session = Session(self, agent, transport)
+        session = Session(
+            self, agent, transport, max_queued_frames=self.max_queued_frames
+        )
         self.sessions[session.id] = session
         self.stats.sessions_opened += 1
         version_ids = tuple(version_ids)
@@ -206,12 +293,20 @@ class DocumentRoom:
         session.close()
         self.presence.pop(session.agent, None)
 
-    def reap_idle_sessions(self, timeout: float = POLL_SESSION_TIMEOUT) -> None:
-        """Drop long-poll sessions that stopped polling (vanished clients)."""
+    def reap_idle_sessions(self, timeout: float = POLL_SESSION_TIMEOUT) -> list[Session]:
+        """Drop long-poll sessions that stopped polling (vanished clients).
+
+        Returns the reaped sessions so the server can purge its own routing
+        entries for them (the periodic reaper task does exactly that).
+        """
         deadline = time.monotonic() - timeout
+        reaped = []
         for session in list(self.sessions.values()):
             if session.transport == "poll" and session.last_seen < deadline:
                 self.disconnect(session)
+                self.stats.sessions_reaped += 1
+                reaped.append(session)
+        return reaped
 
     def _spans_at(self, version_ids: tuple[EventId, ...]) -> list[tuple[EventId, int]]:
         """The id spans covered by ``Events(version)`` — what a client at that
@@ -241,10 +336,28 @@ class DocumentRoom:
 
     def _ingest(self, events: list[RemoteEvent]) -> None:
         """Inbound-buffer delivery: apply one causally ordered batch to the
-        server replica, then fan it out to every session's outbound buffer."""
+        server replica, WAL-append it, then fan it out to every session's
+        outbound buffer.
+
+        The write-ahead append happens *before* any session sees the batch:
+        a crash after the append loses only unacknowledged fan-out (clients
+        re-fetch on reconnect), never durable state a client observed.
+        Injected crash points fire around the append — ``before-wal`` loses
+        the batch, ``torn-wal`` truncates its record mid-write, ``after-wal``
+        crashes with the record intact.
+        """
         self.document.apply_remote_events(events)
         self.stats.events_ingested += len(events)
         self.stats.chars_ingested += sum(e.op.length for e in events)
+        crash = self.faults.crash_due() if self.faults is not None else None
+        if crash != "before-wal" and self.storage is not None:
+            self.storage.append(events, torn=crash == "torn-wal")
+            if crash is None:
+                self.storage.maybe_compact(self.document)
+        if crash is not None:
+            if self.on_crash is not None:
+                self.on_crash()
+            raise InjectedCrash(f"injected server crash at {crash}")
         for session in self.sessions.values():
             if not session.closed:
                 session.offer_events(events)
@@ -278,7 +391,7 @@ class DocumentRoom:
         return pending
 
     def summary(self) -> dict[str, Any]:
-        return {
+        summary = {
             "doc": self.name,
             "sessions": len(self.sessions),
             "run_events": len(self.document.oplog.graph),
@@ -286,14 +399,8 @@ class DocumentRoom:
             "text_len": len(self.document.rope),
             "version": [[a, s] for a, s in self.document.version().as_tuples()],
             "buffer_pending": self.buffer_pending(),
-            "stats": {
-                "events_ingested": self.stats.events_ingested,
-                "chars_ingested": self.stats.chars_ingested,
-                "deltas_received": self.stats.deltas_received,
-                "duplicates_dropped": self.stats.duplicates_dropped,
-                "frames_queued": self.stats.frames_queued,
-                "presence_updates": self.stats.presence_updates,
-                "sessions_opened": self.stats.sessions_opened,
-                "sessions_closed": self.stats.sessions_closed,
-            },
+            "stats": asdict(self.stats),
         }
+        if self.storage is not None:
+            summary["durability"] = self.storage.stats.as_dict()
+        return summary

@@ -332,6 +332,19 @@ class TestAwaitStateRace:
         )
         assert lint(src, path=CORE_PATH, rule=self.RULE).findings == []
 
+    def test_rule_covers_the_faults_package(self):
+        """The fault injector mutates shared counters from transport
+        coroutines — the race rule's scope includes it."""
+        src = (
+            "class Injector:\n"
+            "    async def throttle(self):\n"
+            "        n = self.waits\n"
+            "        await self.sleep()\n"
+            "        self.waits = n + 1\n"
+        )
+        result = lint(src, path="src/repro/faults/fixture.py", rule=self.RULE)
+        assert len(result.findings) == 1
+
     def test_sync_methods_and_free_coroutines_are_out_of_scope(self):
         src = (
             "class Room:\n"

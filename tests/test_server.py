@@ -299,3 +299,68 @@ class TestLifecycleRaces:
             await server.stop()
 
         run(scenario())
+
+
+class TestBackgroundMaintenance:
+    def test_periodic_reaper_reclaims_abandoned_poll_sessions(self):
+        """A long-poll client that vanishes without a bye must be reclaimed
+        by the periodic reaper — session object, room entry, and the
+        server-level routing entry all gone."""
+
+        async def scenario():
+            server = CollabServer(reap_interval=0.05, poll_session_timeout=0.1)
+            async with server:
+                poll = PollClient(server.host, server.port, "d", "ghost")
+                await poll.connect()
+                await poll.insert(0, "left behind")
+                room = server.room("d")
+                assert len(room.sessions) == 1
+                # Vanish: kill the poll loop, never send a bye.
+                poll._stopping = True
+                poll._poll_task.cancel()
+                try:
+                    await poll._poll_task
+                except asyncio.CancelledError:
+                    pass
+                assert await wait_until(
+                    lambda: room.sessions == {} and server._sessions == {}
+                )
+                assert room.stats.sessions_reaped >= 1
+                # The room itself survives with the ghost's edit intact.
+                assert room.document.text == "left behind"
+
+        run(scenario())
+
+    def test_abandoned_final_flush_frames_are_counted(self):
+        """A WebSocket reader that disconnects while its outbound queue is
+        still draining: the drain is bounded and the frames it gives up on
+        are accounted, not silently lost."""
+        from repro.faults import FaultPlan
+
+        async def scenario():
+            plan = FaultPlan(seed=1, slow_reader_agents=("lurker",), slow_reader_delay=0.5)
+            server = CollabServer(faults=plan, drain_timeout=0.05)
+            async with server:
+                lurker = CollabClient(server.host, server.port, "d", "lurker")
+                fast = CollabClient(server.host, server.port, "d", "fast")
+                await lurker.connect()
+                await fast.connect()
+                for i in range(5):
+                    await fast.insert(0, f"w{i} ")
+                room = server.room("d")
+                # The lurker's pump is stalled in the injected throttle with
+                # most of the fan-out batch unsent; vanish under it.  The
+                # bounded drain then cancels the pump, which requeues the
+                # unsent tail for the accounting.
+                await asyncio.sleep(0.05)
+                await lurker.close(send_bye=False)
+                assert await wait_until(lambda: room.stats.frames_abandoned > 0)
+                assert await wait_until(
+                    lambda: all(
+                        s.agent != "lurker" for s in room.sessions.values()
+                    )
+                )
+                await fast.close()
+                assert room.document.text == "w4 w3 w2 w1 w0 "
+
+        run(scenario())
