@@ -1,8 +1,9 @@
 """Figure 12 — file size when deleted text content is omitted (as Yjs does).
 
-Compares the pruned Eg-walker event-graph encoding (structure kept, deleted
-characters' content dropped) against the Yjs-like item format, with the final
-document size as the lower bound.
+Compares the pruned Eg-walker event-graph encodings (structure kept, deleted
+characters' content dropped) — legacy v2 and the compressed v3 container —
+against the Yjs-like item format, with the final document size as the lower
+bound.  The v3 variant is gated to never exceed v2 on any trace family.
 """
 
 from __future__ import annotations
@@ -11,7 +12,7 @@ import pytest
 
 from repro.bench.adapters import EgWalkerAdapter, YjsLikeAdapter
 
-VARIANTS = ["egwalker-pruned", "yjs-like"]
+VARIANTS = ["egwalker-pruned", "egwalker-v3-pruned", "yjs-like"]
 
 
 @pytest.mark.parametrize("variant", VARIANTS)
@@ -24,7 +25,8 @@ def test_pruned_file_size(benchmark, trace, variant):
         outcome = adapter.merge(trace)
         encode = lambda: adapter.save(trace, outcome)  # noqa: E731
     else:
-        adapter = EgWalkerAdapter()
+        version = 3 if "-v3" in variant else 2
+        adapter = EgWalkerAdapter(format_version=version)
         outcome = adapter.merge(trace)
         encode = lambda: adapter.save_pruned(trace, outcome)  # noqa: E731
 
@@ -34,5 +36,14 @@ def test_pruned_file_size(benchmark, trace, variant):
     benchmark.extra_info["file_bytes"] = len(data)
     benchmark.extra_info["final_doc_bytes"] = final_doc_bytes
 
-    # The final document text is (approximately) a lower bound for both formats.
-    assert len(data) > final_doc_bytes * 0.5
+    if "-v3" not in variant:
+        # The final document text is (approximately) a lower bound for the
+        # uncompressed formats (v3 compresses per column and may dip below).
+        assert len(data) > final_doc_bytes * 0.5
+    else:
+        # The "Smaller" gate: pruned v3 must never regress on pruned v2.
+        v2_data = EgWalkerAdapter().save_pruned(trace, outcome)
+        assert len(data) <= len(v2_data), (
+            f"pruned v3 ({len(data)} B) larger than v2 ({len(v2_data)} B) "
+            f"on {trace.name}"
+        )

@@ -34,10 +34,10 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 from repro import Document, apply_ops
 from repro.history import History
 from repro.storage import (
-    EncodeOptions,
-    decode_event_graph,
+    ContainerOptions,
+    LazyDecodedFile,
     decode_version,
-    encode_event_graph,
+    encode_event_graph_v3,
     encode_version,
 )
 
@@ -111,17 +111,23 @@ def main() -> None:
         )
 
     # --- persistence round trip --------------------------------------------
-    data = encode_event_graph(
-        alice.oplog.graph, EncodeOptions(include_snapshot=True, final_text=alice.text)
+    data = encode_event_graph_v3(
+        alice.oplog.graph,
+        ContainerOptions(include_snapshot=True, final_text=alice.text),
     )
     saved_handle = encode_version(draft)  # handles persist independently
-    decoded = decode_event_graph(data)
-    reloaded = History.over_graph(decoded.graph)
-    print(f"\nhistory file: {len(data)} bytes (snapshot included), "
+    lazy = LazyDecodedFile(data)
+    print(f"\nhistory file: {len(data)} bytes (v3 container, snapshot column), "
           f"saved handle: {len(saved_handle)} bytes")
-    print(f"fast load from snapshot: {decoded.snapshot == alice.text}")
+    # Selective read: the current text costs only the snapshot column.
+    print(f"fast load from snapshot column: {lazy.text == alice.text} "
+          f"({lazy.stats.bytes_read} of {len(data)} bytes read, "
+          f"{lazy.stats.events_materialised} events materialised)")
+    # History access hydrates the remaining columns, exactly once.
+    reloaded = lazy.history
     print(f"time travel after reload works: "
-          f"{reloaded.text_at(decode_version(saved_handle)) == alice.text_at(draft)}")
+          f"{reloaded.text_at(decode_version(saved_handle)) == alice.text_at(draft)} "
+          f"(hydrations: {lazy.stats.hydrations})")
 
 
 if __name__ == "__main__":

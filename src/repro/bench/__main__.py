@@ -20,6 +20,7 @@ import sys
 from ..traces.datasets import default_scale, load_all_traces
 from .harness import (
     run_clearing_ablation,
+    run_cold_load,
     run_file_size_full,
     run_file_size_pruned,
     run_memory,
@@ -41,6 +42,7 @@ _EXPERIMENTS = {
     "x1": ("x1_sort_order", lambda traces: run_sort_order_ablation(traces)),
     "x2": ("x2_scaling", lambda traces: run_scaling()),
     "x3": ("x3_merge_latency", lambda traces: run_merge_latency()),
+    "x5": ("x5_cold_load", lambda traces: run_cold_load(traces)),
 }
 
 

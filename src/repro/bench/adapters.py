@@ -25,7 +25,8 @@ from ..crdt.automerge_like import AutomergeLikeDocument
 from ..crdt.ref_crdt import RefCRDTDocument
 from ..crdt.yjs_like import YjsLikeDocument
 from ..ot.ot_replica import OTDocument
-from ..storage.encoder import EncodeOptions, decode_event_graph, encode_event_graph
+from ..storage.container import ContainerOptions, decode_file, encode_event_graph_v3
+from ..storage.encoder import EncodeOptions, encode_event_graph
 from ..storage.snapshot import Snapshot, decode_snapshot, encode_snapshot
 from ..traces.trace import Trace
 
@@ -81,11 +82,17 @@ class EgWalkerAdapter(AlgorithmAdapter):
         enable_clearing: bool = True,
         sort_strategy: str = "branch_aware",
         cache_final_doc: bool = True,
+        format_version: int = 2,
     ) -> None:
         self.backend = backend
         self.enable_clearing = enable_clearing
         self.sort_strategy = sort_strategy
         self.cache_final_doc = cache_final_doc
+        if format_version not in (2, 3):
+            raise ValueError(f"unknown storage format version {format_version}")
+        #: 2 = legacy interleaved columns, 3 = random-access columnar
+        #: container with per-column compression (repro.storage.container).
+        self.format_version = format_version
         #: Stats of the most recent merge (run/char event counts, peak span
         #: records) — lets the benchmarks report the RLE win per trace.
         self.last_stats: WalkerStats | None = None
@@ -103,6 +110,14 @@ class EgWalkerAdapter(AlgorithmAdapter):
         return MergeOutcome(text=text, retained=text)
 
     def save(self, trace: Trace, outcome: MergeOutcome) -> bytes:
+        if self.format_version == 3:
+            return encode_event_graph_v3(
+                trace.graph,
+                ContainerOptions(
+                    include_snapshot=self.cache_final_doc,
+                    final_text=outcome.text if self.cache_final_doc else None,
+                ),
+            )
         return encode_event_graph(
             trace.graph,
             EncodeOptions(
@@ -113,12 +128,16 @@ class EgWalkerAdapter(AlgorithmAdapter):
 
     def save_pruned(self, trace: Trace, outcome: MergeOutcome) -> bytes:
         """The Figure 12 variant: drop deleted characters' content."""
+        if self.format_version == 3:
+            return encode_event_graph_v3(
+                trace.graph, ContainerOptions(prune_deleted_content=True)
+            )
         return encode_event_graph(
             trace.graph, EncodeOptions(prune_deleted_content=True)
         )
 
     def load(self, data: bytes) -> str:
-        decoded = decode_event_graph(data)
+        decoded = decode_file(data)
         if decoded.snapshot is not None:
             # Fast path: the cached document text is all that is needed to
             # display and edit the document (§4.3).
@@ -154,7 +173,7 @@ class OTAdapter(AlgorithmAdapter):
         )
 
     def load(self, data: bytes) -> str:
-        decoded = decode_event_graph(data)
+        decoded = decode_file(data)
         if decoded.snapshot is not None:
             return decoded.snapshot
         document = OTDocument()

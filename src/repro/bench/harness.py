@@ -22,6 +22,9 @@ Experiment index (see DESIGN.md §3):
 * :func:`run_replay_throughput` — end-to-end replay events/sec when a fresh
   replica consumes a whole trace in batches, incremental engine on vs off
   (``BENCH_replay_throughput.json`` / the replay perf-smoke CI gate)
+* :func:`run_cold_load` — cold-load-to-first-text from a storage-v3 container:
+  bytes touched and events materialised for a selective text read vs a full
+  graph hydration (``BENCH_cold_load.json`` / the storage-format CI gate)
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ __all__ = [
     "run_scaling",
     "run_merge_latency",
     "run_replay_throughput",
+    "run_cold_load",
     "run_all",
 ]
 
@@ -177,6 +181,12 @@ def run_file_size_full(traces: dict[str, Trace] | None = None) -> list[dict[str,
         inserted_chars = sum(e.op.length for e in trace.graph.events() if e.op.is_insert)
         eg_plain = EgWalkerAdapter(cache_final_doc=False).save(trace, outcome)
         eg_cached = EgWalkerAdapter(cache_final_doc=True).save(trace, outcome)
+        eg_v3 = EgWalkerAdapter(cache_final_doc=False, format_version=3).save(
+            trace, outcome
+        )
+        eg_v3_cached = EgWalkerAdapter(cache_final_doc=True, format_version=3).save(
+            trace, outcome
+        )
         am_outcome = automerge.merge(trace)
         am_bytes = automerge.save(trace, am_outcome)
         rows.append(
@@ -185,6 +195,8 @@ def run_file_size_full(traces: dict[str, Trace] | None = None) -> list[dict[str,
                 "inserted_text_bytes": inserted_chars,
                 "egwalker_bytes": len(eg_plain),
                 "egwalker_cached_doc_bytes": len(eg_cached),
+                "egwalker_v3_bytes": len(eg_v3),
+                "egwalker_v3_cached_doc_bytes": len(eg_v3_cached),
                 "automerge_like_bytes": len(am_bytes),
             }
         )
@@ -201,6 +213,7 @@ def run_file_size_pruned(traces: dict[str, Trace] | None = None) -> list[dict[st
         eg = EgWalkerAdapter()
         outcome = eg.merge(trace)
         pruned = eg.save_pruned(trace, outcome)
+        pruned_v3 = EgWalkerAdapter(format_version=3).save_pruned(trace, outcome)
         yjs_outcome = yjs.merge(trace)
         yjs_bytes = yjs.save(trace, yjs_outcome)
         rows.append(
@@ -208,7 +221,86 @@ def run_file_size_pruned(traces: dict[str, Trace] | None = None) -> list[dict[st
                 "trace": name,
                 "final_doc_bytes": len(outcome.text.encode("utf-8")),
                 "egwalker_pruned_bytes": len(pruned),
+                "egwalker_v3_pruned_bytes": len(pruned_v3),
                 "yjs_like_bytes": len(yjs_bytes),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Cold load: selective v3 reads vs full hydration (ROADMAP item 2 payoff)
+# ----------------------------------------------------------------------
+def run_cold_load(traces: dict[str, Trace] | None = None) -> list[dict[str, object]]:
+    """Cold-load-to-first-text from a pruned, snapshot-bearing v3 container.
+
+    For each trace the document is persisted the way the hosting layer will
+    evict it (pruned content + snapshot column), then loaded cold three ways:
+
+    * **selective text** — :class:`~repro.storage.LazyDecodedFile` reading
+      just the snapshot column: the structural claim is *zero* events
+      materialised and only a fraction of the file's bytes touched;
+    * **lazy history** — the same file after a first ``history`` access:
+      exactly one hydration pays for the remaining columns;
+    * **full decode** — the v2-style load that materialises everything
+      up front, as the baseline for the bytes/events columns.
+
+    Also records whether a *snapshot-free* v3 file can still serve its text
+    selectively (linear histories replay ops over content span-wise).
+    """
+    from ..storage.container import (
+        ContainerOptions,
+        LazyDecodedFile,
+        StorageError,
+        encode_event_graph_v3,
+    )
+
+    rows = []
+    for name, trace in _traces(traces).items():
+        outcome = EgWalkerAdapter().merge(trace)
+        data = encode_event_graph_v3(
+            trace.graph,
+            ContainerOptions(
+                prune_deleted_content=True,
+                include_snapshot=True,
+                final_text=outcome.text,
+            ),
+        )
+
+        cold = LazyDecodedFile(data)
+        (text, cold_seconds) = _timed(lambda: cold.text)
+        cold_bytes = cold.stats.bytes_read
+        cold_events = cold.stats.events_materialised
+
+        lazy = LazyDecodedFile(data)
+        _ = lazy.text
+        (_, history_seconds) = _timed(lambda: lazy.history)
+        _ = lazy.history  # second access: cached, no second hydration
+
+        full = LazyDecodedFile(data)
+        (_, full_seconds) = _timed(lambda: full.graph)
+
+        plain = encode_event_graph_v3(trace.graph)
+        try:
+            selective_no_snapshot = LazyDecodedFile(plain).selective_text() == outcome.text
+        except StorageError:
+            selective_no_snapshot = False
+
+        rows.append(
+            {
+                "trace": name,
+                "file_bytes": len(data),
+                "cold_text_ok": text == outcome.text,
+                "cold_text_ms": round(cold_seconds * 1000, 3),
+                "cold_text_bytes_read": cold_bytes,
+                "cold_text_events_materialised": cold_events,
+                "cold_text_read_fraction": round(cold_bytes / len(data), 4),
+                "history_hydrations": lazy.stats.hydrations,
+                "history_ms": round(history_seconds * 1000, 3),
+                "full_load_ms": round(full_seconds * 1000, 3),
+                "full_load_events": full.stats.events_materialised,
+                "full_load_bytes_read": full.stats.bytes_read,
+                "selective_text_without_snapshot": selective_no_snapshot,
             }
         )
     return rows
@@ -480,4 +572,5 @@ def run_all(traces: dict[str, Trace] | None = None) -> dict[str, list[dict[str, 
         "x2_scaling": run_scaling(),
         "x3_merge_latency": run_merge_latency(),
         "x4_replay_throughput": run_replay_throughput(traces),
+        "x5_cold_load": run_cold_load(traces),
     }

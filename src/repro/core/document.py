@@ -94,6 +94,23 @@ class Document:
         / ``checkout`` (see :class:`repro.history.History`).  The methods
         below delegate here."""
 
+    @classmethod
+    def from_bytes(cls, data: bytes, agent: str, **options: object) -> "Document":
+        """Load a replica from a stored event-graph file (v2 or v3).
+
+        The decoded events are ingested through the normal remote-events
+        path, so the resulting replica is immediately editable and mergeable.
+        This fully materialises the graph; use
+        :class:`repro.storage.LazyDecodedFile` when only the text (or a
+        read-only :class:`~repro.history.History`) is needed.
+        """
+        from ..storage.container import _graph_to_remote_events, decode_file
+
+        document = cls(agent, **options)  # type: ignore[arg-type]
+        decoded = decode_file(data)
+        document.apply_remote_events(_graph_to_remote_events(decoded.graph))
+        return document
+
     # ------------------------------------------------------------------
     # Read access
     # ------------------------------------------------------------------

@@ -110,6 +110,17 @@ class History:
             engine.tracker.rebuild()
         return cls(oplog, engine)
 
+    @classmethod
+    def from_bytes(cls, data: bytes, **walker_options: Any) -> "History":
+        """A standalone history decoded from a stored event-graph file
+        (v2 or v3, sniffed).  Materialises the graph once; for deferred
+        hydration use :attr:`repro.storage.LazyDecodedFile.history`, which
+        decodes the history columns only when first asked.
+        """
+        from ..storage.container import decode_file
+
+        return cls.over_graph(decode_file(data).graph, **walker_options)
+
     @property
     def graph(self) -> EventGraph:
         return self.oplog.graph

@@ -15,9 +15,11 @@ durability falls out of the storage layer this repo already has:
   delta, ``"group"`` lets the server's group-commit task sync on an interval
   (the production trade), ``"none"`` never syncs (the ablation floor).
 * When the log grows past a threshold the room is **compacted**: the full
-  event graph is written as one storage-v2 file (final text included, so a
-  recovered room serves without a replay) via an atomic
-  temp-file-plus-``os.replace``, and the log is reset.  A crash between the
+  event graph is written as one storage-v3 container (final text included as
+  its own snapshot column, so a recovered room serves without a replay) via
+  an atomic temp-file-plus-``os.replace``, and the log is reset.  Recovery
+  sniffs the magic, so rooms compacted before the v3 container (legacy v2
+  snapshots) still recover.  A crash between the
   snapshot replace and the log reset merely leaves duplicate spans in the
   log — recovery routes every batch through a
   :class:`~repro.network.causal_broadcast.CausalBuffer`, which dedups them
@@ -41,7 +43,7 @@ from typing import TYPE_CHECKING, Iterable
 from ..core.ids import EventId, delete_op, insert_op
 from ..core.oplog import RemoteEvent
 from ..network.causal_broadcast import CausalBuffer
-from ..storage.encoder import EncodeOptions, decode_event_graph, encode_event_graph
+from ..storage.container import ContainerOptions, decode_file, encode_event_graph_v3
 from ..storage.varint import ByteReader, ByteWriter, decode_uvarint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (Document imports rope etc.)
@@ -442,9 +444,9 @@ class RoomStorage:
         one; a crash *between* the replace and the WAL reset leaves
         duplicate spans in the log, which recovery dedups.
         """
-        data = encode_event_graph(
+        data = encode_event_graph_v3(
             document.oplog.graph,
-            EncodeOptions(include_snapshot=True, final_text=document.text),
+            ContainerOptions(include_snapshot=True, final_text=document.text),
         )
         tmp_path = self.snapshot_path + ".tmp"
         fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
@@ -518,7 +520,9 @@ def recover_document(
     except FileNotFoundError:
         snapshot_data = None
     if snapshot_data is not None:
-        decoded = decode_event_graph(snapshot_data)
+        # Sniffs the magic: rooms compacted before the v3 container still
+        # recover (v2 is a read-only legacy format).
+        decoded = decode_file(snapshot_data)
         events = graph_to_remote_events(decoded.graph)
         buffer.receive_batch(events)
         info.snapshot_loaded = True

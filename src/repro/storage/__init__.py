@@ -1,6 +1,25 @@
-"""Persistent storage: columnar event-graph files, snapshots, compression."""
+"""Persistent storage: columnar event-graph files, snapshots, compression.
+
+Two file formats live here: the legacy v2 interleaved-column encoder
+(:mod:`repro.storage.encoder`, read-only) and the v3 random-access columnar
+container (:mod:`repro.storage.container`) with per-column compression/CRCs,
+selective reads (:func:`decode_text`) and lazy hydration
+(:class:`LazyDecodedFile`).  :func:`decode_file` sniffs the magic and reads
+either.
+"""
 
 from .compression import compress, decompress
+from .container import (
+    ContainerOptions,
+    LazyDecodedFile,
+    ReadStats,
+    StorageError,
+    decode_event_graph_v3,
+    decode_file,
+    decode_text,
+    encode_event_graph_v3,
+    parse_header,
+)
 from .encoder import DecodedFile, EncodeOptions, decode_event_graph, encode_event_graph
 from .snapshot import (
     Snapshot,
@@ -21,19 +40,28 @@ from .varint import (
 __all__ = [
     "ByteReader",
     "ByteWriter",
+    "ContainerOptions",
     "DecodedFile",
     "EncodeOptions",
+    "LazyDecodedFile",
+    "ReadStats",
     "Snapshot",
+    "StorageError",
     "compress",
     "decompress",
     "decode_event_graph",
+    "decode_event_graph_v3",
+    "decode_file",
     "decode_snapshot",
     "decode_svarint",
+    "decode_text",
     "decode_uvarint",
     "decode_version",
     "encode_event_graph",
+    "encode_event_graph_v3",
     "encode_snapshot",
     "encode_svarint",
     "encode_uvarint",
     "encode_version",
+    "parse_header",
 ]

@@ -37,6 +37,13 @@ the saved text exactly, must agree with the per-character oracle, saved
 handles must round-trip through the storage codec, and ``diff`` between a
 replica's consecutive saves must transform one saved text into the next.
 
+Every converged session ends with a **storage v3 round-trip property**: the
+history is encoded in full, uncompressed, pruned and snapshot-bearing
+container modes (plus a re-carved interop copy of the same history), each
+decode must re-encode byte-identically, replay to the oracle-agreed text,
+and a snapshot-bearing file must serve that text selectively — zero events
+materialised.
+
 Each session also checks **handle stability** of the columnar event graph:
 random :class:`Event` views saved mid-session must still be the live
 singleton for their position at the end (same object, same id, same
@@ -63,9 +70,13 @@ from repro.core.walker import EgWalker
 from repro.history import History, Version, apply_ops
 from repro.network.simulator import full_mesh, star
 from repro.storage import (
+    ContainerOptions,
+    LazyDecodedFile,
     decode_event_graph,
+    decode_file,
     decode_version,
     encode_event_graph,
+    encode_event_graph_v3,
     encode_version,
 )
 
@@ -267,6 +278,65 @@ def run_session(
         history = History.over_graph(decode_event_graph(graph_bytes).graph)
         assert history.text_at(decode_version(handle_bytes)) == text, (
             f"saved version did not survive the storage round trip ({context})"
+        )
+
+    # --- storage v3 round-trip property ------------------------------------
+    # The converged session history must survive the v3 container in every
+    # mode: full, uncompressed, pruned, and snapshot-bearing.  Decoding and
+    # re-encoding with the same options must reproduce the file byte for
+    # byte, and the decoded graph must replay to the oracle-agreed text.
+    sample = sim.replicas[rng.choice(all_names)].document
+    _assert_v3_round_trip(sample.oplog.graph, expected, context)
+
+    # Selective-column reads: a snapshot-bearing file serves its text from
+    # the snapshot column alone (zero events materialised); any file serves
+    # it through the lazy fallback.
+    with_snapshot = encode_event_graph_v3(
+        sample.oplog.graph,
+        ContainerOptions(include_snapshot=True, final_text=sample.text),
+    )
+    lazy = LazyDecodedFile(with_snapshot)
+    assert lazy.text == expected and lazy.stats.events_materialised == 0, (
+        f"selective text read touched the graph ({context})"
+    )
+    plain = LazyDecodedFile(encode_event_graph_v3(sample.oplog.graph))
+    assert plain.text == expected, (
+        f"lazy text fallback diverged from the converged text ({context})"
+    )
+
+    # A re-carved copy of the same history (different run boundaries) is a
+    # different byte stream but must round-trip just as losslessly.
+    recarved_doc = Document("recarve-reader", incremental=incremental)
+    recarved_doc.apply_remote_events(
+        random_recarve(rng, sample.oplog.export_events())
+    )
+    assert recarved_doc.text == expected, (
+        f"re-carved interop copy diverged before the round trip ({context})"
+    )
+    _assert_v3_round_trip(recarved_doc.oplog.graph, expected, f"{context}, recarved")
+
+
+def _assert_v3_round_trip(graph, expected_text: str, context: str) -> None:
+    for options in (
+        ContainerOptions(),
+        ContainerOptions(compress_columns=False),
+        ContainerOptions(prune_deleted_content=True),
+        ContainerOptions(include_snapshot=True, final_text=expected_text),
+    ):
+        data = encode_event_graph_v3(graph, options)
+        decoded = decode_file(data)
+        assert decoded.pruned == options.prune_deleted_content
+        assert len(decoded.graph) == len(graph)
+        assert decoded.graph.frontier == graph.frontier, (
+            f"v3 round trip changed the frontier ({context})"
+        )
+        re_encoded = encode_event_graph_v3(decoded.graph, options)
+        assert re_encoded == data, (
+            f"v3 re-encode is not byte-identical ({context}, {options})"
+        )
+        history = History.over_graph(decoded.graph)
+        assert history.text_at(Version.frontier(decoded.graph)) == expected_text, (
+            f"v3 round trip changed the replayed text ({context}, {options})"
         )
 
 

@@ -1,0 +1,758 @@
+"""Storage format v3: container round trips, the corruption battery, lazy
+hydration accounting, and v2→v3 migration parity.
+
+The battery mirrors ``test_wal.py``'s rigor for the container: a v3 file is
+truncated at **every** byte offset and has single bytes flipped throughout
+the header and in every column block, and each mutation must surface as a
+structured :class:`~repro.storage.StorageError` with a stable ``code`` —
+never a silent wrong decode.  Stale offsets, duplicated/missing columns,
+per-column CRC mismatches and bad compressed payloads are each staged
+explicitly by rewriting the column table (and re-signing the header CRC, so
+only the staged defect can trip).
+
+Migration parity pins the v2→v3 path: every fixture graph decoded from its
+v2 bytes and re-encoded as v3 must carry an equivalent event graph (ids,
+parents, ops, frontier, replayed text), and a committed golden corpus
+(``tests/golden/storage_v3``) fails loudly if either format's bytes drift.
+Regenerate with ``python tests/test_storage_container.py --regenerate``.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+
+import pytest
+
+from repro.core.document import Document
+from repro.core.event_graph import EventGraph
+from repro.core.ids import EventId, delete_op, insert_op
+from repro.history import History, Version
+from repro.storage import (
+    ContainerOptions,
+    EncodeOptions,
+    LazyDecodedFile,
+    StorageError,
+    decode_event_graph_v3,
+    decode_file,
+    decode_text,
+    encode_event_graph,
+    encode_event_graph_v3,
+)
+from repro.storage.container import (
+    COL_AGENTS,
+    COL_CONTENT,
+    COL_IDS,
+    COL_OPS,
+    COL_PARENTS,
+    COLUMN_NAMES,
+    MAGIC_V3,
+    parse_header,
+)
+from repro.storage.varint import ByteWriter
+from repro.traces.generator import generate_concurrent, generate_sequential
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden", "storage_v3")
+
+#: Every code :class:`StorageError` may legally carry (documented contract).
+KNOWN_CODES = {
+    "bad-magic",
+    "unsupported-version",
+    "truncated-header",
+    "header-crc-mismatch",
+    "duplicate-column",
+    "stale-column-offset",
+    "truncated-column",
+    "trailing-data",
+    "column-crc-mismatch",
+    "column-decode",
+    "missing-column",
+    "text-requires-graph",
+}
+
+
+# ----------------------------------------------------------------------
+# Fixture graphs (deterministic: the golden corpus uses the same builders).
+# The figure graphs and two-branch documents mirror tests/conftest.py —
+# inlined (rather than imported across conftests) so this module also runs
+# standalone, e.g. for `--regenerate`.
+# ----------------------------------------------------------------------
+def build_figure2_graph() -> EventGraph:
+    """Figure 2: concurrent "l" and "!" insertions into "Helo"."""
+    graph = EventGraph()
+    graph.add_event(EventId("u1", 0), (), insert_op(0, "H"), parents_are_indices=True)
+    graph.add_event(EventId("u1", 1), (0,), insert_op(1, "e"), parents_are_indices=True)
+    graph.add_event(EventId("u1", 2), (1,), insert_op(2, "l"), parents_are_indices=True)
+    graph.add_event(EventId("u1", 3), (2,), insert_op(3, "o"), parents_are_indices=True)
+    graph.add_event(EventId("u1", 4), (3,), insert_op(3, "l"), parents_are_indices=True)
+    graph.add_event(EventId("u2", 0), (3,), insert_op(4, "!"), parents_are_indices=True)
+    return graph
+
+
+def build_figure4_graph() -> EventGraph:
+    """Figure 4: "hi" -> concurrent "hey" / "Hi" -> "Hey!"."""
+    graph = EventGraph()
+    graph.add_event(EventId("a", 0), (), insert_op(0, "h"), parents_are_indices=True)
+    graph.add_event(EventId("a", 1), (0,), insert_op(1, "i"), parents_are_indices=True)
+    graph.add_event(EventId("b", 0), (1,), insert_op(0, "H"), parents_are_indices=True)
+    graph.add_event(EventId("b", 1), (2,), delete_op(1), parents_are_indices=True)
+    graph.add_event(EventId("a", 2), (1,), delete_op(1), parents_are_indices=True)
+    graph.add_event(EventId("a", 3), (4,), insert_op(1, "e"), parents_are_indices=True)
+    graph.add_event(EventId("a", 4), (5,), insert_op(2, "y"), parents_are_indices=True)
+    graph.add_event(EventId("a", 5), (3, 6), insert_op(3, "!"), parents_are_indices=True)
+    return graph
+
+
+def make_two_branch_documents() -> tuple[Document, Document]:
+    """Two replicas that share a prefix and then diverge."""
+    alice = Document("alice")
+    alice.insert(0, "shared base text. ")
+    bob = Document("bob")
+    bob.merge(alice)
+    alice.insert(len(alice.text), "alice adds this at the end. ")
+    alice.delete(0, 7)
+    bob.insert(0, "bob prepends this. ")
+    bob.delete(len(bob.text) - 6, 5)
+    return alice, bob
+
+
+def _linear_document() -> Document:
+    doc = Document("alice")
+    doc.insert(0, "the quick brown fox jumps over the lazy dog. ")
+    doc.delete(4, 6)
+    doc.insert(4, "slow ")
+    doc.insert(len(doc.text), "again and again and again.")
+    return doc
+
+
+def _merged_two_branch_document() -> Document:
+    alice, bob = make_two_branch_documents()
+    alice.merge(bob)
+    bob.merge(alice)
+    return alice
+
+
+def fixture_graphs() -> dict[str, EventGraph]:
+    """Name → deterministic fixture graph (hand-built and generated)."""
+    return {
+        "figure2": build_figure2_graph(),
+        "figure4": build_figure4_graph(),
+        "linear": _linear_document().oplog.graph,
+        "two_branch": _merged_two_branch_document().oplog.graph,
+        "seq_trace": generate_sequential(
+            "gold-seq", target_events=80, authors=2, seed=7
+        ).graph,
+        "conc_trace": generate_concurrent(
+            "gold-conc", target_events=90, seed=8, events_per_exchange=9
+        ).graph,
+    }
+
+
+def graph_text(graph: EventGraph) -> str:
+    return History.over_graph(graph).text_at(Version.frontier(graph))
+
+
+def assert_graphs_equivalent(a: EventGraph, b: EventGraph, context: str = "") -> None:
+    """Same events (ids, parents, ops), same frontier, same replayed text."""
+    assert len(a) == len(b), context
+    for ea, eb in zip(a.events(), b.events()):
+        assert ea.id == eb.id, context
+        assert ea.parents == eb.parents, context
+        assert ea.op.kind == eb.op.kind, context
+        assert ea.op.pos == eb.op.pos, context
+        assert ea.op.length == eb.op.length, context
+    assert a.frontier == b.frontier, context
+    assert graph_text(a) == graph_text(b), context
+
+
+ALL_OPTIONS = {
+    "default": ContainerOptions(),
+    "uncompressed": ContainerOptions(compress_columns=False),
+    "pruned": ContainerOptions(prune_deleted_content=True),
+}
+
+
+# ----------------------------------------------------------------------
+# Table-rewriting helpers (for staging single defects with a valid header)
+# ----------------------------------------------------------------------
+def _entries_of(data: bytes):
+    """Parse a v3 file into (header, mutable column-entry dicts with blocks)."""
+    header = parse_header(data)
+    blocks = data[header.header_length :]
+    entries = [
+        {
+            "column_id": c.column_id,
+            "flags": c.flags,
+            "offset": c.offset,
+            "stored_length": c.stored_length,
+            "raw_length": c.raw_length,
+            "crc32": c.crc32,
+            "stored": blocks[c.offset : c.offset + c.stored_length],
+        }
+        for c in header.columns
+    ]
+    return header, entries
+
+
+def _reflow(entries) -> None:
+    """Recompute contiguous offsets (after resizing/reordering blocks)."""
+    offset = 0
+    for entry in entries:
+        entry["offset"] = offset
+        offset += entry["stored_length"]
+
+
+def _emit(header, entries) -> bytes:
+    """Re-emit a v3 file from entry dicts, re-signing the header CRC (so a
+    staged table defect is the *only* thing a decoder can trip on)."""
+    writer = ByteWriter()
+    writer.write_bytes(MAGIC_V3)
+    writer.write_uvarint(3)
+    writer.write_uvarint(header.flags)
+    writer.write_uvarint(header.num_events)
+    writer.write_uvarint(len(entries))
+    for entry in entries:
+        writer.write_uvarint(entry["column_id"])
+        writer.write_uvarint(entry["flags"])
+        writer.write_uvarint(entry["offset"])
+        writer.write_uvarint(entry["stored_length"])
+        writer.write_uvarint(entry["raw_length"])
+        writer.write_bytes(entry["crc32"].to_bytes(4, "big"))
+    header_bytes = writer.getvalue()
+    out = ByteWriter()
+    out.write_bytes(header_bytes)
+    out.write_bytes(zlib.crc32(header_bytes).to_bytes(4, "big"))
+    for entry in entries:
+        out.write_bytes(entry["stored"])
+    return out.getvalue()
+
+
+def _append_column(data: bytes, column_id: int, payload: bytes) -> bytes:
+    header, entries = _entries_of(data)
+    entries.append(
+        {
+            "column_id": column_id,
+            "flags": 0,
+            "offset": 0,
+            "stored_length": len(payload),
+            "raw_length": len(payload),
+            "crc32": zlib.crc32(payload),
+            "stored": payload,
+        }
+    )
+    _reflow(entries)
+    return _emit(header, entries)
+
+
+def test_rewrite_helpers_are_faithful():
+    """Sanity: an identity rewrite reproduces the file byte for byte."""
+    data = _battery_file()
+    header, entries = _entries_of(data)
+    assert _emit(header, entries) == data
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("graph_name", sorted(fixture_graphs()))
+@pytest.mark.parametrize("options_name", sorted(ALL_OPTIONS))
+def test_v3_round_trip(graph_name, options_name):
+    graph = fixture_graphs()[graph_name]
+    options = ALL_OPTIONS[options_name]
+    data = encode_event_graph_v3(graph, options)
+    decoded = decode_event_graph_v3(data)
+    if options.prune_deleted_content:
+        # Pruned decode restores surviving characters; graph structure and
+        # final text are preserved even though deleted content is gone.
+        assert decoded.pruned
+        assert len(decoded.graph) == len(graph)
+        assert decoded.graph.frontier == graph.frontier
+        assert graph_text(decoded.graph) == graph_text(graph)
+    else:
+        assert_graphs_equivalent(decoded.graph, graph, f"{graph_name}/{options_name}")
+    # Byte-identical re-encode: the format is deterministic.
+    assert encode_event_graph_v3(decoded.graph, options) == data
+
+
+@pytest.mark.parametrize("graph_name", sorted(fixture_graphs()))
+def test_v3_snapshot_round_trip(graph_name):
+    graph = fixture_graphs()[graph_name]
+    text = graph_text(graph)
+    data = encode_event_graph_v3(
+        graph, ContainerOptions(include_snapshot=True, final_text=text)
+    )
+    decoded = decode_event_graph_v3(data)
+    assert decoded.snapshot == text
+    assert decode_text(data) == text
+
+
+def test_snapshot_requires_text():
+    with pytest.raises(ValueError):
+        encode_event_graph_v3(
+            fixture_graphs()["linear"], ContainerOptions(include_snapshot=True)
+        )
+
+
+def test_decode_file_sniffs_both_formats():
+    graph = fixture_graphs()["two_branch"]
+    text = graph_text(graph)
+    v2 = encode_event_graph(graph, EncodeOptions(include_snapshot=True, final_text=text))
+    v3 = encode_event_graph_v3(
+        graph, ContainerOptions(include_snapshot=True, final_text=text)
+    )
+    assert decode_file(v2).snapshot == text
+    assert decode_file(v3).snapshot == text
+    assert_graphs_equivalent(decode_file(v2).graph, decode_file(v3).graph)
+
+
+def test_decode_file_rejects_garbage():
+    with pytest.raises(StorageError) as info:
+        decode_file(b"NOPE" + b"\x00" * 20)
+    assert info.value.code == "bad-magic"
+    with pytest.raises(StorageError) as info:
+        decode_file(b"EG")
+    assert info.value.code == "truncated-header"
+
+
+def test_unknown_columns_are_skipped():
+    """Extensibility: a future column id decodes cleanly past this reader."""
+    graph = fixture_graphs()["linear"]
+    data = encode_event_graph_v3(graph)
+    extended = _append_column(data, column_id=99, payload=b"future payload")
+    decoded = decode_event_graph_v3(extended)
+    assert_graphs_equivalent(decoded.graph, graph)
+    # ...and its block is never read by a selective text load.
+    lazy = LazyDecodedFile(extended)
+    assert lazy.text == graph_text(graph)
+    assert "column-99" not in lazy.stats.column_reads
+
+
+# ----------------------------------------------------------------------
+# Selective reads
+# ----------------------------------------------------------------------
+def test_decode_text_linear_without_snapshot():
+    doc = _linear_document()
+    for options in (ContainerOptions(), ContainerOptions(prune_deleted_content=True)):
+        data = encode_event_graph_v3(doc.oplog.graph, options)
+        assert decode_text(data) == doc.text
+
+
+def test_decode_text_concurrent_requires_graph():
+    graph = fixture_graphs()["two_branch"]
+    data = encode_event_graph_v3(graph)
+    with pytest.raises(StorageError) as info:
+        decode_text(data)
+    assert info.value.code == "text-requires-graph"
+
+
+def test_decode_text_prefers_snapshot_column():
+    graph = fixture_graphs()["two_branch"]
+    text = graph_text(graph)
+    data = encode_event_graph_v3(
+        graph, ContainerOptions(include_snapshot=True, final_text=text)
+    )
+    assert decode_text(data) == text
+
+
+# ----------------------------------------------------------------------
+# Lazy hydration accounting
+# ----------------------------------------------------------------------
+def test_cold_text_touches_only_snapshot_column():
+    graph = fixture_graphs()["conc_trace"]
+    text = graph_text(graph)
+    data = encode_event_graph_v3(
+        graph,
+        ContainerOptions(
+            prune_deleted_content=True, include_snapshot=True, final_text=text
+        ),
+    )
+    lazy = LazyDecodedFile(data)
+    assert lazy.text == text
+    assert set(lazy.stats.column_reads) == {"snapshot"}
+    assert lazy.stats.events_materialised == 0
+    assert lazy.stats.hydrations == 0
+    assert lazy.stats.bytes_read < len(data)
+
+
+def test_cold_text_without_snapshot_touches_only_cheap_columns():
+    doc = _linear_document()
+    data = encode_event_graph_v3(doc.oplog.graph)
+    lazy = LazyDecodedFile(data)
+    assert lazy.text == doc.text
+    # Linear replay needs ops+content, plus the parents column's one-byte
+    # exception count to prove linearity; the history columns stay untouched.
+    assert set(lazy.stats.column_reads) <= {"ops", "content", "parents"}
+    assert lazy.stats.column_reads.get("agents", 0) == 0
+    assert lazy.stats.column_reads.get("ids", 0) == 0
+    assert lazy.stats.events_materialised == 0
+
+
+def test_first_history_access_hydrates_exactly_once():
+    graph = fixture_graphs()["conc_trace"]
+    text = graph_text(graph)
+    data = encode_event_graph_v3(
+        graph, ContainerOptions(include_snapshot=True, final_text=text)
+    )
+    lazy = LazyDecodedFile(data)
+    assert lazy.text == text
+    assert lazy.stats.hydrations == 0
+
+    history = lazy.history
+    assert lazy.stats.hydrations == 1
+    assert lazy.stats.events_materialised == len(graph)
+    first_reads = dict(lazy.stats.column_reads)
+    assert first_reads["parents"] == 1
+    assert first_reads["agents"] == 1
+    assert first_reads["ids"] == 1
+
+    # Repeated accesses (history, graph, document) must not decode again.
+    assert lazy.history is history
+    _ = lazy.graph
+    _ = lazy.document("reader")
+    assert lazy.stats.hydrations == 1
+    assert lazy.stats.column_reads == first_reads
+    assert lazy.stats.events_materialised == len(graph)
+    assert history.text_at(Version.frontier(lazy.graph)) == text
+
+
+def test_document_and_history_load_from_bytes():
+    graph = fixture_graphs()["two_branch"]
+    text = graph_text(graph)
+    for data in (
+        encode_event_graph(graph),
+        encode_event_graph_v3(graph),
+    ):
+        doc = Document.from_bytes(data, "reader")
+        assert doc.text == text
+        doc.insert(0, "still editable: ")
+        assert doc.text.startswith("still editable: ")
+        history = History.from_bytes(data)
+        assert history.text_at(Version.frontier(history.graph)) == text
+
+
+# ----------------------------------------------------------------------
+# Corruption battery: truncation and byte flips
+# ----------------------------------------------------------------------
+def _battery_file() -> bytes:
+    graph = fixture_graphs()["two_branch"]
+    return encode_event_graph_v3(
+        graph,
+        ContainerOptions(include_snapshot=True, final_text=graph_text(graph)),
+    )
+
+
+def test_every_truncation_raises_structured_error():
+    """A v3 file cut at *any* byte offset (header, table, or blocks) must
+    raise a StorageError with a documented code — never decode silently."""
+    data = _battery_file()
+    header_length = parse_header(data).header_length
+    for cut in range(len(data)):
+        with pytest.raises(StorageError) as info:
+            decode_event_graph_v3(data[:cut])
+        assert info.value.code in KNOWN_CODES, (
+            f"truncation at {cut}: unexpected code {info.value.code!r}"
+        )
+        if cut < header_length:
+            assert info.value.code in {
+                "truncated-header",
+                "header-crc-mismatch",
+                "bad-magic",
+            }, f"header truncation at {cut} gave {info.value.code!r}"
+
+
+def test_every_header_byte_flip_raises_structured_error():
+    """Flipping any single byte of the header/table must be caught (the
+    header CRC covers magic through table), with a deterministic code."""
+    data = _battery_file()
+    header_length = parse_header(data).header_length
+    for pos in range(header_length):
+        corrupted = bytearray(data)
+        corrupted[pos] ^= 0xFF
+        with pytest.raises(StorageError) as info:
+            decode_event_graph_v3(bytes(corrupted))
+        assert info.value.code in {
+            "bad-magic",
+            "unsupported-version",
+            "truncated-header",
+            "header-crc-mismatch",
+            # a flipped length varint can push the parsed table past the end
+            # of the file before the CRC line is reached
+            "truncated-column",
+            "trailing-data",
+        }, f"header flip at {pos} gave {info.value.code!r}"
+
+
+def test_block_byte_flips_raise_column_crc_mismatch():
+    """One flipped byte in each column block trips that column's CRC."""
+    data = _battery_file()
+    header = parse_header(data)
+    assert len(header.columns) == 6  # ops, content, parents, agents, ids, snapshot
+    for column in header.columns:
+        if column.stored_length == 0:
+            continue
+        for pos in (0, column.stored_length // 2, column.stored_length - 1):
+            corrupted = bytearray(data)
+            corrupted[header.header_length + column.offset + pos] ^= 0x01
+            with pytest.raises(StorageError) as info:
+                decode_event_graph_v3(bytes(corrupted))
+            assert info.value.code == "column-crc-mismatch", (
+                f"flip in {column.name!r} at {pos} gave {info.value.code!r}"
+            )
+
+
+def test_truncated_blocks_and_trailing_data():
+    data = _battery_file()
+    with pytest.raises(StorageError) as info:
+        decode_event_graph_v3(data[:-1])
+    assert info.value.code == "truncated-column"
+    with pytest.raises(StorageError) as info:
+        decode_event_graph_v3(data + b"\x00")
+    assert info.value.code == "trailing-data"
+
+
+# ----------------------------------------------------------------------
+# Corruption battery: staged table defects
+# ----------------------------------------------------------------------
+def test_stale_offset_per_column():
+    data = _battery_file()
+    for index in range(len(parse_header(data).columns)):
+        header, entries = _entries_of(data)
+        entries[index]["offset"] += 1
+        # keep the total block length consistent so only the offset trips
+        entries[-1]["stored"] += b"\x00" if index == len(entries) - 1 else b""
+        with pytest.raises(StorageError) as info:
+            decode_event_graph_v3(_emit(header, entries))
+        assert info.value.code == "stale-column-offset", (
+            f"column {index}: {info.value.code!r}"
+        )
+
+
+def test_wrong_stored_crc_per_column():
+    data = _battery_file()
+    for index, column in enumerate(parse_header(data).columns):
+        header, entries = _entries_of(data)
+        entries[index]["crc32"] ^= 0xDEADBEEF
+        with pytest.raises(StorageError) as info:
+            decode_event_graph_v3(_emit(header, entries))
+        assert info.value.code == "column-crc-mismatch", (
+            f"column {column.name!r}: {info.value.code!r}"
+        )
+
+
+def test_wrong_raw_length_is_column_decode():
+    data = _battery_file()
+    header, entries = _entries_of(data)
+    entries[0]["raw_length"] += 1
+    with pytest.raises(StorageError) as info:
+        decode_event_graph_v3(_emit(header, entries))
+    assert info.value.code == "column-decode"
+
+
+def test_bogus_compression_flag_is_column_decode():
+    """Mislabelling a column's compression (flag flipped, CRC re-signed) must
+    fail as a decode error, not produce garbage."""
+    data = _battery_file()
+    header, entries = _entries_of(data)
+    entries[0]["flags"] ^= 1
+    with pytest.raises(StorageError) as info:
+        decode_event_graph_v3(_emit(header, entries))
+    assert info.value.code == "column-decode", info.value.code
+
+
+def test_duplicate_column_rejected():
+    data = _battery_file()
+    header, entries = _entries_of(data)
+    entries.append(dict(entries[-1]))
+    _reflow(entries)
+    with pytest.raises(StorageError) as info:
+        decode_event_graph_v3(_emit(header, entries))
+    assert info.value.code == "duplicate-column"
+
+
+@pytest.mark.parametrize(
+    "column_id", [COL_OPS, COL_CONTENT, COL_PARENTS, COL_AGENTS, COL_IDS]
+)
+def test_missing_required_column(column_id):
+    data = _battery_file()
+    header, entries = _entries_of(data)
+    entries = [e for e in entries if e["column_id"] != column_id]
+    _reflow(entries)
+    with pytest.raises(StorageError) as info:
+        decode_event_graph_v3(_emit(header, entries))
+    assert info.value.code == "missing-column", (
+        f"{COLUMN_NAMES[column_id]}: {info.value.code!r}"
+    )
+
+
+def test_unsupported_version_rejected():
+    data = _battery_file()
+    # byte 4 is the version varint (3 encodes as one byte)
+    assert data[4] == 3
+    bumped = data[:4] + b"\x07" + data[5:]
+    with pytest.raises(StorageError) as info:
+        decode_event_graph_v3(bumped)
+    assert info.value.code == "unsupported-version"
+
+
+def test_inconsistent_ids_column_is_column_decode():
+    """Internally inconsistent (but CRC-valid, correctly framed) column
+    payloads still fail loudly: an ids column that no longer aligns with the
+    ops column's event boundaries."""
+    graph = fixture_graphs()["linear"]
+    data = encode_event_graph_v3(graph, ContainerOptions(compress_columns=False))
+    header, entries = _entries_of(data)
+    for entry in entries:
+        if entry["column_id"] == COL_IDS:
+            entry["stored"] = entry["stored"][: max(1, len(entry["stored"]) // 2)]
+            entry["stored_length"] = len(entry["stored"])
+            entry["raw_length"] = len(entry["stored"])
+            entry["crc32"] = zlib.crc32(entry["stored"])
+    _reflow(entries)
+    with pytest.raises(StorageError) as info:
+        decode_event_graph_v3(_emit(header, entries))
+    assert info.value.code == "column-decode"
+
+
+# ----------------------------------------------------------------------
+# v2 → v3 migration parity + golden corpus
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("graph_name", sorted(fixture_graphs()))
+def test_v2_to_v3_migration_parity(graph_name):
+    """Decoding any v2 fixture file and re-encoding it as v3 must preserve
+    the event graph (ids, parents, ops, frontier) and the replayed text."""
+    graph = fixture_graphs()[graph_name]
+    v2_bytes = encode_event_graph(graph)
+    migrated = decode_file(v2_bytes)
+    v3_bytes = encode_event_graph_v3(migrated.graph)
+    reloaded = decode_file(v3_bytes)
+    assert_graphs_equivalent(reloaded.graph, graph, graph_name)
+    # And the migration is stable: migrating the migrated file is a no-op.
+    assert encode_event_graph_v3(reloaded.graph) == v3_bytes
+
+
+def test_wal_compaction_snapshot_migration(tmp_path):
+    """A WAL room compacted under v2 recovers identically under v3."""
+    from repro.server.wal import (
+        SNAPSHOT_FILENAME,
+        DurabilityOptions,
+        RoomStorage,
+        graph_to_remote_events,
+        recover_document,
+    )
+
+    options = DurabilityOptions(fsync_policy="none", compact_on_close=False)
+    doc = _merged_two_branch_document()
+
+    # Legacy room: write the snapshot the way the pre-v3 server did.
+    legacy_dir = tmp_path / "legacy-room"
+    storage = RoomStorage(str(legacy_dir), options=options)
+    storage.append(graph_to_remote_events(doc.oplog.graph))
+    storage.close()
+    legacy_snapshot = encode_event_graph(
+        doc.oplog.graph, EncodeOptions(include_snapshot=True, final_text=doc.text)
+    )
+    (legacy_dir / SNAPSHOT_FILENAME).write_bytes(legacy_snapshot)
+    recovered_legacy, info_legacy = recover_document(str(legacy_dir), "server")
+    assert recovered_legacy.text == doc.text
+    assert info_legacy.snapshot_loaded and info_legacy.snapshot_text_verified
+
+    # Modern room: compaction writes v3; recovery sniffs it the same way.
+    modern_dir = tmp_path / "modern-room"
+    storage = RoomStorage(str(modern_dir), options=options)
+    storage.compact(doc)
+    storage.close()
+    snapshot_bytes = (modern_dir / SNAPSHOT_FILENAME).read_bytes()
+    assert snapshot_bytes[:4] == MAGIC_V3
+    recovered_modern, info_modern = recover_document(str(modern_dir), "server")
+    assert recovered_modern.text == doc.text
+    assert info_modern.snapshot_loaded and info_modern.snapshot_text_verified
+    assert_graphs_equivalent(
+        recovered_modern.oplog.graph, recovered_legacy.oplog.graph, "wal migration"
+    )
+    # The v3 snapshot is also selectively readable: the room's text comes
+    # straight off the snapshot column.
+    assert decode_text(snapshot_bytes) == doc.text
+
+
+def _golden_specs():
+    """(file stem → encode callable) for every committed golden file."""
+    specs = {}
+    for graph_name, graph in fixture_graphs().items():
+        text = graph_text(graph)
+        specs[f"{graph_name}.v2"] = lambda g=graph: encode_event_graph(g)
+        specs[f"{graph_name}.v3"] = lambda g=graph: encode_event_graph_v3(g)
+        specs[f"{graph_name}.v3.pruned"] = lambda g=graph: encode_event_graph_v3(
+            g, ContainerOptions(prune_deleted_content=True)
+        )
+        specs[f"{graph_name}.v3.snapshot"] = (
+            lambda g=graph, t=text: encode_event_graph_v3(
+                g, ContainerOptions(include_snapshot=True, final_text=t)
+            )
+        )
+    return specs
+
+
+def test_golden_corpus_pins_both_formats():
+    """Committed golden files fail loudly on any byte-level format drift."""
+    specs = _golden_specs()
+    assert os.path.isdir(GOLDEN_DIR), (
+        "golden corpus missing; regenerate with "
+        "`python tests/test_storage_container.py --regenerate`"
+    )
+    committed = {name for name in os.listdir(GOLDEN_DIR) if name.endswith(".bin")}
+    expected = {f"{stem}.bin" for stem in specs}
+    assert committed == expected, (
+        f"golden corpus out of sync: missing {sorted(expected - committed)}, "
+        f"extra {sorted(committed - expected)}"
+    )
+    for stem, encode in sorted(specs.items()):
+        path = os.path.join(GOLDEN_DIR, f"{stem}.bin")
+        with open(path, "rb") as fh:
+            golden = fh.read()
+        fresh = encode()
+        assert fresh == golden, (
+            f"{stem}: encoder output drifted from the committed golden file "
+            f"({len(fresh)} vs {len(golden)} bytes); if the format change is "
+            f"intentional, regenerate the corpus and bump the format version"
+        )
+
+
+def test_golden_corpus_decodes_and_migrates():
+    """Every committed golden file decodes, and each v2 file's v3 migration
+    matches the committed v3 bytes."""
+    for name in sorted(os.listdir(GOLDEN_DIR)):
+        if not name.endswith(".bin"):
+            continue
+        with open(os.path.join(GOLDEN_DIR, name), "rb") as fh:
+            data = fh.read()
+        decoded = decode_file(data)
+        assert len(decoded.graph) > 0
+        if name.endswith(".v2.bin"):
+            v3_path = os.path.join(GOLDEN_DIR, name[: -len(".v2.bin")] + ".v3.bin")
+            with open(v3_path, "rb") as fh:
+                golden_v3 = fh.read()
+            assert encode_event_graph_v3(decoded.graph) == golden_v3, (
+                f"{name}: v2→v3 migration does not reproduce the golden v3 bytes"
+            )
+
+
+def regenerate_golden_corpus() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in os.listdir(GOLDEN_DIR):
+        if name.endswith(".bin"):
+            os.remove(os.path.join(GOLDEN_DIR, name))
+    for stem, encode in sorted(_golden_specs().items()):
+        path = os.path.join(GOLDEN_DIR, f"{stem}.bin")
+        with open(path, "wb") as fh:
+            fh.write(encode())
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        sys.path.insert(0, os.path.dirname(__file__))
+        regenerate_golden_corpus()
+    else:
+        print(__doc__)
